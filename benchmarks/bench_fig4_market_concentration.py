@@ -1,0 +1,90 @@
+"""Figure 4: the market concentration (HHI) query end to end.
+
+Reproduces the paper's headline result: running the query entirely under
+Sharemind stops scaling at ~10k input records, while Conclave — by pushing
+the MPC frontier past the per-company revenue aggregation — stays roughly
+linear up to 1.3 billion records and finishes in well under 20 minutes,
+within a small factor of an insecure Spark job over the pooled data.
+
+``test_fig4_series`` regenerates the figure's three curves;
+``test_functional_market_query`` measures the real execution of the full
+compiled query (compile + dispatch + MPC) at small scale and checks the
+result against the cleartext reference.
+"""
+
+import pytest
+
+from figures import conclave_config, series_fig4, write_series
+
+import repro as cc
+from repro.queries import market_concentration_query
+from repro.workloads.taxi import TaxiWorkload
+
+HEADER = ["records", "sharemind", "insecure-spark", "conclave"]
+
+
+@pytest.mark.benchmark(group="fig4-series")
+def test_fig4_series(benchmark):
+    rows = benchmark(series_fig4)
+    write_series("fig4_market_concentration", HEADER, rows)
+    by_records = {row["records"]: row for row in rows}
+
+    # Sharemind alone cannot scale past ~10k records (DNF or >1h well before 10M).
+    big_sharemind = [
+        row["sharemind"] for row in rows if row["records"] >= 10_000_000
+    ]
+    assert all(value is None for value in big_sharemind)
+
+    # Conclave completes 1.3B records in under 20 minutes.
+    full_scale = by_records[1_300_000_000]
+    assert full_scale["conclave"] is not None
+    assert full_scale["conclave"] < 20 * 60
+
+    # Conclave is roughly comparable to insecure Spark (within ~5x) at the
+    # largest size, and the insecure joint cluster is faster there.
+    assert full_scale["insecure-spark"] is not None
+    assert full_scale["insecure-spark"] < full_scale["conclave"] <= 5 * full_scale["insecure-spark"]
+
+    # Conclave is never dramatically slower than the insecure baseline at
+    # small/medium sizes either (same order of magnitude).
+    for records, row in by_records.items():
+        if row["conclave"] is not None and row["insecure-spark"] is not None:
+            assert row["conclave"] <= 10 * row["insecure-spark"] + 60
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+@pytest.mark.parametrize("rows_per_party", [100, 300])
+def test_functional_market_query(benchmark, rows_per_party):
+    workload = TaxiWorkload(num_companies=3, zero_fare_fraction=0.02, seed=11)
+    tables = workload.party_tables(3, rows_per_party)
+    spec = market_concentration_query(rows_per_party=rows_per_party)
+    inputs = {party: {f"trips_{i}": tables[i]} for i, party in enumerate(spec.parties)}
+    config = conclave_config(cleartext_backend="python")
+    compiled = cc.compile_query(spec.context, config)
+
+    def run():
+        runner = cc.QueryRunner(spec.parties, inputs, config)
+        return runner.run(compiled)
+
+    result = benchmark(run)
+    hhi = result.outputs["hhi_result"].rows()[0][0]
+    assert hhi == pytest.approx(workload.reference_hhi(tables), abs=1e-3)
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_functional_market_query_without_pushdown(benchmark):
+    """The same query forced entirely under MPC (the Figure 4 baseline)."""
+    workload = TaxiWorkload(num_companies=3, zero_fare_fraction=0.02, seed=11)
+    tables = workload.party_tables(3, 60)
+    spec = market_concentration_query(rows_per_party=60)
+    inputs = {party: {f"trips_{i}": tables[i]} for i, party in enumerate(spec.parties)}
+    config = cc.CompilationConfig(enable_push_down=False)
+    compiled = cc.compile_query(spec.context, config)
+
+    def run():
+        return cc.QueryRunner(spec.parties, inputs, config).run(compiled)
+
+    result = benchmark(run)
+    assert result.outputs["hhi_result"].rows()[0][0] == pytest.approx(
+        workload.reference_hhi(tables), abs=1e-3
+    )

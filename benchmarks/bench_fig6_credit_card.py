@@ -1,0 +1,82 @@
+"""Figure 6: the credit-card regulation query end to end.
+
+The query's first operator is a join, so Conclave cannot push the MPC
+frontier down; without hybrid operators the whole query would run under
+MPC.  With the regulator annotated as trusted for the agencies' SSN column,
+Conclave applies the hybrid join and hybrid aggregation.  Expected shape:
+pure Sharemind execution stops scaling around 3k total records (it does not
+finish 30k within the two-hour budget), while Conclave processes 300k
+records in under 25 minutes.
+"""
+
+import pytest
+
+from figures import series_fig6, write_series
+
+import repro as cc
+from repro.queries import credit_card_regulation_query
+from repro.workloads.credit import CreditWorkload
+
+HEADER = ["records", "sharemind", "conclave"]
+
+
+@pytest.mark.benchmark(group="fig6-series")
+def test_fig6_series(benchmark):
+    rows = benchmark(series_fig6)
+    write_series("fig6_credit_card", HEADER, rows)
+    by_records = {row["records"]: row for row in rows}
+
+    # Pure MPC execution does not complete 30k records within the budget.
+    assert by_records[30_000]["sharemind"] is None
+    # Conclave finishes 300k records in under 25 minutes.
+    conclave_300k = by_records[300_000]["conclave"]
+    assert conclave_300k is not None and conclave_300k < 25 * 60
+    # Where both complete, the hybrid plan wins beyond trivially small inputs.
+    assert by_records[3_000]["conclave"] < by_records[3_000]["sharemind"]
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+@pytest.mark.parametrize("rows_per_agency", [40, 120])
+def test_functional_credit_query(benchmark, rows_per_agency):
+    num_people = rows_per_agency * 3
+    workload = CreditWorkload(num_zip_codes=20, seed=13)
+    demo, agencies = workload.generate(num_people, rows_per_agency, num_agencies=2)
+    spec = credit_card_regulation_query(
+        rows_demographics=num_people, rows_per_agency=rows_per_agency
+    )
+    regulator, bank_a, bank_b = spec.parties
+    inputs = {
+        regulator: {"demographics": demo},
+        bank_a: {"scores_0": agencies[0]},
+        bank_b: {"scores_1": agencies[1]},
+    }
+    compiled = cc.compile_query(spec.context)
+
+    def run():
+        return cc.QueryRunner(spec.parties, inputs).run(compiled)
+
+    result = benchmark(run)
+    reference = workload.reference_average_scores(demo, agencies)
+    assert result.outputs["avg_scores"].num_rows == reference.num_rows
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+def test_functional_credit_query_pure_mpc(benchmark):
+    """The Sharemind-only baseline at a size it can still handle."""
+    workload = CreditWorkload(num_zip_codes=8, seed=13)
+    demo, agencies = workload.generate(45, 15, num_agencies=2)
+    spec = credit_card_regulation_query(rows_demographics=45, rows_per_agency=15)
+    regulator, bank_a, bank_b = spec.parties
+    inputs = {
+        regulator: {"demographics": demo},
+        bank_a: {"scores_0": agencies[0]},
+        bank_b: {"scores_1": agencies[1]},
+    }
+    config = cc.CompilationConfig(enable_hybrid_operators=False)
+    compiled = cc.compile_query(spec.context, config)
+
+    def run():
+        return cc.QueryRunner(spec.parties, inputs, config).run(compiled)
+
+    result = benchmark(run)
+    assert result.outputs["avg_scores"].num_rows > 0

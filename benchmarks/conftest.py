@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# The figure helpers live next to the benchmark modules; make them importable
+# regardless of how pytest sets up sys.path.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: a minimal three-party Conclave query.
+
+Three companies each hold a private (region, amount) sales relation.  They
+want the total sales per region across all three companies, revealed only to
+the first company, without showing each other their books.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro as cc
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+
+
+def build_query():
+    """Declare the query exactly as if all data sat in one database."""
+    p1, p2, p3 = cc.Party("alpha.example"), cc.Party("beta.example"), cc.Party("gamma.example")
+    schema = [cc.Column("region", cc.INT), cc.Column("amount", cc.INT)]
+
+    with cc.QueryContext() as query:
+        sales = [
+            cc.new_table(f"sales_{i}", schema, at=p, estimated_rows=1_000)
+            for i, p in enumerate((p1, p2, p3))
+        ]
+        combined = cc.concat(sales, name="all_sales")
+        per_region = combined.aggregate("total", cc.SUM, group=["region"], over="amount")
+        per_region.collect("totals_by_region", to=[p1])
+    return query, [p.name for p in (p1, p2, p3)]
+
+
+def generate_inputs(parties, rows=200, seed=0):
+    """Synthesise each party's private sales relation."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([ColumnDef("region"), ColumnDef("amount")])
+    inputs = {}
+    for i, party in enumerate(parties):
+        table = Table(
+            schema,
+            [rng.integers(0, 5, rows), rng.integers(1, 1_000, rows)],
+        )
+        inputs[party] = {f"sales_{i}": table}
+    return inputs
+
+
+def main():
+    query, parties = build_query()
+
+    # Compile: Conclave decides which operators run locally and which under MPC.
+    compiled = cc.compile_query(query)
+    print(compiled.explain())
+    print()
+
+    # Execute across the three (simulated) parties.
+    inputs = generate_inputs(parties)
+    runner = cc.QueryRunner(parties, inputs)
+    result = runner.run(compiled)
+
+    print("== result revealed to", parties[0], "==")
+    for region, total in sorted(result.outputs["totals_by_region"].rows()):
+        print(f"  region {region}: total sales {total}")
+    print()
+    print(f"simulated end-to-end runtime: {result.simulated_seconds:.2f}s")
+    print(f"operators still under MPC   : {compiled.mpc_operator_count()} of {compiled.operator_count()}")
+    print()
+    print("== leakage report ==")
+    print(result.leakage.summary() or "  (nothing revealed beyond the output)")
+
+
+if __name__ == "__main__":
+    main()

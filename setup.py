@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+fall back to the legacy editable-install path.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

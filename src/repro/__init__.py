@@ -1,0 +1,94 @@
+"""Reproduction of *Conclave: secure multi-party computation on big data*
+(Volgushev et al., EuroSys 2019).
+
+The top-level package re-exports the analyst-facing API so queries read like
+the paper's listings::
+
+    import repro as cc
+
+    with cc.QueryContext() as q:
+        pA, pB, pC = cc.Party("mpc.ftc.gov"), cc.Party("mpc.a.com"), cc.Party("mpc.b.cash")
+        demo = cc.new_table("demographics", [cc.Column("ssn"), cc.Column("zip")], at=pA)
+        ...
+        result.collect("avg_scores", to=[pA])
+
+    compiled = cc.compile_query(q)
+    runner = cc.QueryRunner(parties, inputs)
+    print(runner.run(compiled).outputs["avg_scores"])
+
+Sub-packages:
+
+* :mod:`repro.core` — the query compiler, frontier/hybrid rewrites, code
+  generation and multi-party dispatch (the paper's contribution).
+* :mod:`repro.data` — schemas, tables and CSV I/O.
+* :mod:`repro.mpc` — the secret-sharing (Sharemind-style) and garbled-circuit
+  (Obliv-C-style) MPC substrates, built from scratch.
+* :mod:`repro.cleartext` — sequential Python and Spark-like data-parallel
+  cleartext engines.
+* :mod:`repro.hybrid` — the hybrid MPC–cleartext protocols (§5.3).
+* :mod:`repro.workloads` — synthetic workload generators for every
+  experiment in the paper.
+* :mod:`repro.baselines` — the SMCQL-style comparison system (§7.4).
+"""
+
+from repro.core import (
+    COUNT,
+    Column,
+    CompilationConfig,
+    CompiledQuery,
+    EstimatedOOM,
+    EstimatorParams,
+    FLOAT,
+    INT,
+    MAX,
+    MEAN,
+    MIN,
+    Party,
+    PlanEstimator,
+    QueryContext,
+    QueryResult,
+    QueryRunner,
+    RelationHandle,
+    SUM,
+    SecurityError,
+    compile_query,
+    concat,
+    new_table,
+    run_query,
+)
+from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COUNT",
+    "Column",
+    "CompilationConfig",
+    "CompiledQuery",
+    "EstimatedOOM",
+    "EstimatorParams",
+    "FLOAT",
+    "INT",
+    "MAX",
+    "MEAN",
+    "MIN",
+    "Party",
+    "PlanEstimator",
+    "QueryContext",
+    "QueryResult",
+    "QueryRunner",
+    "RelationHandle",
+    "SUM",
+    "SecurityError",
+    "compile_query",
+    "concat",
+    "new_table",
+    "run_query",
+    "ColumnDef",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baseline systems Conclave is compared against in the paper's evaluation.
+
+Currently this contains an SMCQL-style executor (§7.4): public/private
+column annotations, slice-based execution on public keys, and an
+ObliVM-calibrated garbled-circuit backend for the slices that must run under
+MPC.
+"""
+
+from repro.baselines.smcql import SMCQLBaseline, SMCQLCostParams
+
+__all__ = ["SMCQLBaseline", "SMCQLCostParams"]

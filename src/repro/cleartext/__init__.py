@@ -1,0 +1,17 @@
+"""Cleartext processing engines.
+
+Conclave executes the non-MPC parts of a query on a local cleartext engine:
+sequential Python when nothing else is available, or a data-parallel system
+(Spark in the paper) when one is deployed.  The reproduction provides both:
+
+* :class:`~repro.cleartext.python_engine.PythonBackend` — a straightforward
+  sequential engine over :class:`~repro.data.table.Table`.
+* :class:`~repro.cleartext.spark_sim.SparkBackend` — a miniature
+  partition/stage/task dataflow engine with hash shuffles, partial
+  aggregation and a calibrated cost model, standing in for Apache Spark.
+"""
+
+from repro.cleartext.python_engine import PythonBackend
+from repro.cleartext.spark_sim import SparkBackend, SparkCostModel
+
+__all__ = ["PythonBackend", "SparkBackend", "SparkCostModel"]

@@ -1,0 +1,156 @@
+"""The Conclave query compiler: the six-stage pipeline of §5.
+
+``compile_query`` takes the operator DAG produced by the frontend and a
+:class:`~repro.core.config.CompilationConfig` and runs:
+
+1. input/output annotation propagation (ownership, §5.1);
+2. MPC-frontier push-down and push-up (§5.2);
+3. trust-set propagation (§5.1);
+4. hybrid-operator insertion (§5.3);
+5. oblivious-operation reduction (sort elimination, §5.4);
+6. partitioning into per-backend sub-plans and code generation (§6).
+
+The result is a :class:`CompiledQuery`, which the
+:class:`~repro.core.dispatch.QueryRunner` executes and the plan
+cost estimator (:mod:`repro.core.estimator`) prices for large inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.codegen import GeneratedJob, generate_jobs
+from repro.core.config import CompilationConfig
+from repro.core.dag import Dag
+from repro.core.frontier import push_down, push_up
+from repro.core.hybrid_rewrite import apply_hybrid_operators
+from repro.core.lang import QueryContext
+from repro.core.operators import Aggregate, Collect, HybridAggregate, HybridJoin, Join, PublicJoin
+from repro.core.partition import SubPlan, describe_partitioning, partition_dag
+from repro.core.propagation import mark_mpc_frontier, propagate_ownership, propagate_trust
+from repro.core.sort_opt import eliminate_redundant_sorts, push_up_sorts
+
+
+@dataclass
+class CompilationReport:
+    """What the rewrite passes did to the query."""
+
+    push_down_rewrites: int = 0
+    push_up_rewrites: int = 0
+    hybrid_rewrites: list[str] = field(default_factory=list)
+    sorts_eliminated: int = 0
+    sorts_pushed_up: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"push-down rewrites applied : {self.push_down_rewrites}",
+            f"push-up rewrites applied   : {self.push_up_rewrites}",
+            f"oblivious sorts eliminated : {self.sorts_eliminated}",
+            f"sorts pushed through concat: {self.sorts_pushed_up}",
+        ]
+        if self.hybrid_rewrites:
+            lines.append("hybrid operators inserted  :")
+            lines.extend(f"  - {r}" for r in self.hybrid_rewrites)
+        else:
+            lines.append("hybrid operators inserted  : none")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledQuery:
+    """The output of the compiler: an annotated DAG plus generated jobs."""
+
+    dag: Dag
+    config: CompilationConfig
+    subplans: list[SubPlan]
+    jobs: list[GeneratedJob]
+    report: CompilationReport
+
+    def mpc_operator_count(self) -> int:
+        """Number of operators that still execute under MPC."""
+        return sum(1 for n in self.dag.topological() if n.is_mpc)
+
+    def operator_count(self) -> int:
+        return len(self.dag.topological())
+
+    def explain(self) -> str:
+        """Human-readable compilation summary (DAG, rewrites, partitioning)."""
+        parts = [
+            "== Conclave compilation ==",
+            self.report.summary(),
+            "",
+            "== operator DAG ==",
+            self.dag.render(),
+            "",
+            "== partitioning ==",
+            describe_partitioning(self.subplans),
+        ]
+        return "\n".join(parts)
+
+
+def compile_query(query: Dag | QueryContext, config: CompilationConfig | None = None) -> CompiledQuery:
+    """Run the full six-stage compilation pipeline."""
+    config = config or CompilationConfig()
+    dag = query.build_dag() if isinstance(query, QueryContext) else query
+    dag.validate()
+    report = CompilationReport()
+
+    # Stage 1: propagate input locations / ownership and the initial frontier.
+    propagate_ownership(dag)
+    mark_mpc_frontier(dag)
+    propagate_trust(dag)
+
+    # Stage 2: move the MPC frontier (push-down, then push-up).
+    if config.enable_push_down:
+        report.push_down_rewrites = push_down(dag, config)
+    if config.enable_push_up:
+        report.push_up_rewrites = push_up(dag, config)
+
+    # Stage 3: propagate trust annotations through the (rewritten) DAG.
+    propagate_trust(dag)
+
+    # Stage 4: insert hybrid operators where trust annotations allow.
+    if config.enable_hybrid_operators:
+        report.hybrid_rewrites = apply_hybrid_operators(dag, config)
+
+    # Stage 5: reduce oblivious operations.
+    if config.enable_sort_pushup:
+        report.sorts_pushed_up = push_up_sorts(dag, config)
+    if config.enable_sort_elimination:
+        report.sorts_eliminated = eliminate_redundant_sorts(dag, config)
+
+    # Stage 6: partition and generate per-backend code.
+    propagate_ownership(dag)
+    mark_mpc_frontier(dag)
+    propagate_trust(dag)
+    _apply_row_hints(dag, config)
+    dag.validate()
+    subplans = partition_dag(dag)
+    jobs = generate_jobs(subplans, config)
+
+    return CompiledQuery(dag=dag, config=config, subplans=subplans, jobs=jobs, report=report)
+
+
+def run_query(query: Dag | QueryContext, inputs, config: CompilationConfig | None = None, seed: int = 0):
+    """Compile and execute a query in one call.
+
+    ``inputs`` maps party name -> {relation name -> Table}.  Returns the
+    :class:`~repro.core.dispatch.QueryResult`.
+    """
+    from repro.core.dispatch import QueryRunner
+
+    config = config or CompilationConfig()
+    compiled = compile_query(query, config)
+    parties = sorted(compiled.dag.parties() | set(inputs))
+    runner = QueryRunner(parties, inputs, config, seed=seed)
+    return runner.run(compiled)
+
+
+def _apply_row_hints(dag: Dag, config: CompilationConfig) -> None:
+    """Override estimated row counts with analyst-provided hints."""
+    if not config.row_hints:
+        return
+    for node in dag.topological():
+        hint = config.row_hints.get(node.out_rel.name)
+        if hint is not None:
+            node.out_rel.estimated_rows = int(hint)

@@ -1,0 +1,47 @@
+"""Compilation and execution configuration.
+
+The flags here correspond to the optimizations and consent decisions the
+paper describes; disabling individual flags is how the ablation benchmarks
+isolate the contribution of each transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompilationConfig:
+    """Switches controlling the compiler's rewrite passes."""
+
+    #: Apply the MPC-frontier push-down (splitting work into local
+    #: pre-processing, §5.2).  Required for Figure 4 / 7b behaviour.
+    enable_push_down: bool = True
+    #: Apply the MPC-frontier push-up (cleartext post-processing of
+    #: reversible leaf operators, §5.2).
+    enable_push_up: bool = True
+    #: Insert hybrid operators when trust annotations allow it (§5.3).
+    enable_hybrid_operators: bool = True
+    #: Eliminate redundant oblivious sorts (§5.4).
+    enable_sort_elimination: bool = True
+    #: Push sorts up through concat via an oblivious merge (§5.4, listed as
+    #: future work in the paper; implemented here as an optional extension).
+    enable_sort_pushup: bool = False
+    #: Push-down transformations may change the cardinality of MPC inputs
+    #: (e.g. a split aggregation reveals per-party distinct-key counts);
+    #: the paper requires all parties to consent to such rewrites.
+    consent_to_cardinality_leakage: bool = True
+    #: Parties allowed to act as the selectively-trusted party.  ``None``
+    #: means any annotated party may be chosen; at most one STP is ever used.
+    allowed_stps: list[str] | None = None
+    #: MPC backend to generate code for: ``"sharemind"`` or ``"obliv-c"``.
+    mpc_backend: str = "sharemind"
+    #: Cleartext backend: ``"spark"`` or ``"python"``.
+    cleartext_backend: str = "python"
+    #: Disable the push-down of filters on private columns past the MPC
+    #: frontier.  Matching SMCQL's (stricter) guarantee for the §7.4
+    #: comparison requires setting this to False.
+    push_down_private_filters: bool = True
+    #: Extra per-relation row hints, keyed by relation name (overrides the
+    #: default selectivity-based estimates used by the cost estimator).
+    row_hints: dict[str, int] = field(default_factory=dict)

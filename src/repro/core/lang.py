@@ -1,0 +1,323 @@
+"""LINQ-style query frontend.
+
+Analysts describe a Conclave query as if all data lived in one database
+(§4.2).  The frontend mirrors the paper's Listings 1 and 2::
+
+    import repro as cc
+
+    with cc.QueryContext() as q:
+        pA, pB = cc.Party("mpc.a.com"), cc.Party("mpc.b.com")
+        schema = [cc.Column("ssn", cc.INT, trust=[pA]), cc.Column("score", cc.INT)]
+        scores1 = cc.new_table("scores1", schema, at=pB)
+        ...
+        result.collect("avg_scores", to=[pA])
+
+Every builder method appends an operator node to the current context's DAG
+and returns a new :class:`RelationHandle`.  ``QueryContext.build_dag()``
+hands the finished DAG to the compiler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.core.operators import (
+    Aggregate,
+    Collect,
+    Concat,
+    Create,
+    Distinct,
+    Divide,
+    Filter,
+    Join,
+    Limit,
+    Multiply,
+    OpNode,
+    Project,
+    SortBy,
+)
+from repro.core.party import Party
+from repro.core.relation import Relation
+from repro.core.dag import Dag
+from repro.core.types import Column, build_schema
+from repro.data.schema import ColumnDef, ColumnType, Schema
+
+_current_context: list["QueryContext"] = []
+
+
+class QueryContext:
+    """Collects the operator nodes of one query.
+
+    Use as a context manager (``with QueryContext() as q:``) or explicitly;
+    the module-level helpers (:func:`new_table`, :func:`concat`) operate on
+    the innermost active context.
+    """
+
+    def __init__(self):
+        self._roots: list[Create] = []
+        self._outputs: list[Collect] = []
+        self._name_counter = itertools.count()
+        self._names: set[str] = set()
+
+    # -- context management -----------------------------------------------------------
+
+    def __enter__(self) -> "QueryContext":
+        _current_context.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _current_context.remove(self)
+
+    @staticmethod
+    def current() -> "QueryContext":
+        if not _current_context:
+            raise RuntimeError(
+                "no active QueryContext; wrap query construction in `with QueryContext():`"
+            )
+        return _current_context[-1]
+
+    # -- relation naming -----------------------------------------------------------------
+
+    def fresh_name(self, hint: str) -> str:
+        name = hint
+        while name in self._names:
+            name = f"{hint}_{next(self._name_counter)}"
+        self._names.add(name)
+        return name
+
+    # -- inputs and outputs -----------------------------------------------------------------
+
+    def new_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        at: Party,
+        estimated_rows: int | None = None,
+    ) -> "RelationHandle":
+        """Declare an input relation stored at party ``at``."""
+        if not isinstance(at, Party):
+            raise TypeError("`at` must be a Party")
+        schema = build_schema(columns, owner=at)
+        rel = Relation(
+            name=self.fresh_name(name),
+            schema=schema,
+            stored_with={at.name},
+            owner=at.name,
+            trust={c.name: c.trust for c in schema},
+            estimated_rows=estimated_rows,
+        )
+        node = Create(rel)
+        self._roots.append(node)
+        return RelationHandle(self, node)
+
+    def concat(self, handles: Sequence["RelationHandle"], name: str | None = None) -> "RelationHandle":
+        """Combine several parties' relations into one partitioned relation."""
+        if not handles:
+            raise ValueError("concat requires at least one relation")
+        nodes = [h.node for h in handles]
+        first_schema = nodes[0].out_rel.schema
+        for n in nodes[1:]:
+            if not first_schema.concat_compatible(n.out_rel.schema):
+                raise ValueError("concat inputs must share the same schema")
+        stored = set()
+        rows = 0
+        known_rows = True
+        for n in nodes:
+            stored |= n.out_rel.stored_with
+            if n.out_rel.estimated_rows is None:
+                known_rows = False
+            else:
+                rows += n.out_rel.estimated_rows
+        rel = Relation(
+            name=self.fresh_name(name or "concat"),
+            schema=first_schema,
+            stored_with=stored,
+            estimated_rows=rows if known_rows else None,
+        )
+        node = Concat(rel, nodes)
+        return RelationHandle(self, node)
+
+    def build_dag(self) -> Dag:
+        """Finalise the query into a validated DAG."""
+        if not self._outputs:
+            raise ValueError("query has no outputs; call .collect(...) on a relation")
+        dag = Dag(self._roots)
+        dag.validate()
+        return dag
+
+    def _register_output(self, node: Collect) -> None:
+        self._outputs.append(node)
+
+
+class RelationHandle:
+    """Fluent handle to a relation being built in a :class:`QueryContext`."""
+
+    def __init__(self, context: QueryContext, node: OpNode):
+        self.context = context
+        self.node = node
+
+    @property
+    def schema(self) -> Schema:
+        return self.node.out_rel.schema
+
+    @property
+    def name(self) -> str:
+        return self.node.out_rel.name
+
+    # -- builder methods --------------------------------------------------------------------
+
+    def project(self, columns: Sequence[str | int], name: str | None = None) -> "RelationHandle":
+        """Keep only the named columns (names or positional indices)."""
+        resolved = [self.schema.resolve(c) for c in columns]
+        rel = self._derive(name or "project", self.schema.project(resolved))
+        return self._wrap(Project(rel, self.node, resolved))
+
+    def filter(self, column: str, op: str, value: float, name: str | None = None) -> "RelationHandle":
+        """Keep rows where ``column <op> value`` holds."""
+        self.schema.index_of(column)
+        rel = self._derive(name or "filter", self.schema)
+        return self._wrap(Filter(rel, self.node, column, op, value))
+
+    def aggregate(
+        self,
+        out_name: str,
+        func: str,
+        group: Sequence[str] | None = None,
+        over: str | None = None,
+        name: str | None = None,
+    ) -> "RelationHandle":
+        """Aggregate ``over`` with ``func``, optionally grouped by one column."""
+        group = list(group or [])
+        if len(group) > 1:
+            raise ValueError("the reproduction supports a single group-by column")
+        group_col = group[0] if group else None
+        func = func.lower()
+        if over is not None:
+            self.schema.index_of(over)
+        if group_col is not None:
+            self.schema.index_of(group_col)
+
+        out_type = ColumnType.INT
+        if over is not None and func != "count":
+            out_type = self.schema[over].ctype
+        if func == "mean":
+            out_type = ColumnType.FLOAT
+        cols = []
+        if group_col is not None:
+            cols.append(self.schema[group_col])
+        cols.append(ColumnDef(out_name, out_type))
+        rel = self._derive(name or f"agg_{out_name}", Schema(cols))
+        return self._wrap(Aggregate(rel, self.node, group_col, over, func, out_name))
+
+    def join(
+        self,
+        other: "RelationHandle",
+        left: Sequence[str],
+        right: Sequence[str],
+        name: str | None = None,
+    ) -> "RelationHandle":
+        """Inner equi-join with ``other`` on one key column per side."""
+        left, right = list(left), list(right)
+        if len(left) != 1 or len(right) != 1:
+            raise ValueError("the reproduction supports single-column join keys")
+        left_on, right_on = left[0], right[0]
+        self.schema.index_of(left_on)
+        other.schema.index_of(right_on)
+
+        out_cols = list(self.schema.columns)
+        taken = {c.name for c in out_cols}
+        for cdef in other.schema:
+            if cdef.name == right_on:
+                continue
+            out_name = cdef.name + "_r" if cdef.name in taken else cdef.name
+            out_cols.append(ColumnDef(out_name, cdef.ctype, cdef.trust))
+        rel = self._derive(name or "join", Schema(out_cols))
+        return self._wrap(Join(rel, self.node, other.node, left_on, right_on))
+
+    def multiply(
+        self, out_name: str, left: str, right: str | float, name: str | None = None
+    ) -> "RelationHandle":
+        """Append ``out_name = left * right`` (column or public scalar)."""
+        self.schema.index_of(left)
+        if isinstance(right, str):
+            self.schema.index_of(right)
+        out_type = self.schema[left].ctype
+        rel = self._derive(name or f"mul_{out_name}", self.schema.with_column(ColumnDef(out_name, out_type)))
+        return self._wrap(Multiply(rel, self.node, out_name, left, right))
+
+    def divide(
+        self, out_name: str, left: str, by: str | float, name: str | None = None
+    ) -> "RelationHandle":
+        """Append ``out_name = left / by`` (column or public scalar)."""
+        self.schema.index_of(left)
+        if isinstance(by, str):
+            self.schema.index_of(by)
+        rel = self._derive(
+            name or f"div_{out_name}", self.schema.with_column(ColumnDef(out_name, ColumnType.FLOAT))
+        )
+        return self._wrap(Divide(rel, self.node, out_name, left, by))
+
+    def sort_by(self, column: str, ascending: bool = True, name: str | None = None) -> "RelationHandle":
+        """Order the relation by ``column``."""
+        self.schema.index_of(column)
+        rel = self._derive(name or "sort", self.schema)
+        return self._wrap(SortBy(rel, self.node, column, ascending))
+
+    def distinct(self, columns: Sequence[str], name: str | None = None) -> "RelationHandle":
+        """Keep the distinct values of the named columns."""
+        resolved = [self.schema.resolve(c) for c in columns]
+        rel = self._derive(name or "distinct", self.schema.project(resolved))
+        return self._wrap(Distinct(rel, self.node, resolved))
+
+    def limit(self, n: int, name: str | None = None) -> "RelationHandle":
+        """Keep the first ``n`` rows."""
+        rel = self._derive(name or f"limit_{n}", self.schema)
+        return self._wrap(Limit(rel, self.node, n))
+
+    def concat_with(self, others: Sequence["RelationHandle"], name: str | None = None) -> "RelationHandle":
+        """Union this relation with others (see :func:`concat`)."""
+        return self.context.concat([self, *others], name=name)
+
+    def collect(self, name: str, to: Sequence[Party]) -> "RelationHandle":
+        """Mark this relation as a query output revealed to ``to``."""
+        if not to:
+            raise ValueError("an output needs at least one recipient party")
+        recipients = [p.name if isinstance(p, Party) else str(p) for p in to]
+        rel = self._derive(name, self.schema)
+        rel.stored_with = set(recipients)
+        node = Collect(rel, self.node, recipients)
+        self.context._register_output(node)
+        return self._wrap(node)
+
+    # Alias matching the paper's listings.
+    def write_to_csv(self, name: str, to: Sequence[Party]) -> "RelationHandle":
+        return self.collect(name, to)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _derive(self, hint: str, schema: Schema) -> Relation:
+        parent_rel = self.node.out_rel
+        return Relation(
+            name=self.context.fresh_name(hint),
+            schema=schema,
+            stored_with=set(parent_rel.stored_with),
+        )
+
+    def _wrap(self, node: OpNode) -> "RelationHandle":
+        return RelationHandle(self.context, node)
+
+
+# -- module-level conveniences mirroring the paper's listings -------------------------------------
+
+
+def new_table(
+    name: str, columns: Sequence[Column], at: Party, estimated_rows: int | None = None
+) -> RelationHandle:
+    """Declare an input relation in the innermost active :class:`QueryContext`."""
+    return QueryContext.current().new_table(name, columns, at, estimated_rows)
+
+
+def concat(handles: Sequence[RelationHandle], name: str | None = None) -> RelationHandle:
+    """Union several relations in the innermost active :class:`QueryContext`."""
+    return QueryContext.current().concat(handles, name)

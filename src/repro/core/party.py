@@ -1,0 +1,25 @@
+"""Parties participating in a Conclave query.
+
+A party is identified by a hostname-like name (``"mpc.a.com"``).  Parties
+own input relations, receive output relations, and may act as the
+selectively-trusted party (STP) for hybrid operators when other parties'
+trust annotations name them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Party:
+    """A participant in the multi-party computation."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("party name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,20 @@
+"""Data plane: typed schemas, in-memory tables, and CSV I/O.
+
+Every engine in the reproduction (cleartext Python, the Spark-like
+data-parallel simulator, the MPC substrates and the hybrid protocols)
+exchanges data as :class:`~repro.data.table.Table` objects described by a
+:class:`~repro.data.schema.Schema`.
+"""
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+from repro.data.csvio import read_csv, write_csv
+
+__all__ = [
+    "ColumnDef",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+]

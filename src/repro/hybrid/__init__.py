@@ -1,0 +1,33 @@
+"""Hybrid MPC–cleartext protocol runtimes (§5.3).
+
+Each protocol combines oblivious steps executed by the secret-sharing MPC
+backend with cleartext steps executed at a selectively-trusted party (STP)
+or, for the public join, at an arbitrary host party:
+
+* :mod:`repro.hybrid.hybrid_join` — the STP learns only the (shuffled) join
+  key columns, joins them in the clear, and returns index relations that the
+  parties use for oblivious selection.
+* :mod:`repro.hybrid.public_join` — both key columns are public; the host
+  joins them in the clear and broadcasts public row indices, so no oblivious
+  work is needed at all.
+* :mod:`repro.hybrid.hybrid_agg` — the STP learns the shuffled group-by
+  column, sorts and groups it in the clear, and returns ordering information
+  plus secret-shared equality flags for the oblivious accumulation scan.
+
+Every protocol records what it revealed and to whom in a
+:class:`~repro.hybrid.stp.LeakageReport`.
+"""
+
+from repro.hybrid.stp import LeakageEvent, LeakageReport, SelectivelyTrustedParty
+from repro.hybrid.hybrid_join import hybrid_join
+from repro.hybrid.public_join import public_join
+from repro.hybrid.hybrid_agg import hybrid_aggregate
+
+__all__ = [
+    "LeakageEvent",
+    "LeakageReport",
+    "SelectivelyTrustedParty",
+    "hybrid_join",
+    "public_join",
+    "hybrid_aggregate",
+]

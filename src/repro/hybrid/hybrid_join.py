@@ -1,0 +1,95 @@
+"""Hybrid join protocol (§5.3, Figure 3).
+
+An MPC join costs ``O(n*m)`` oblivious comparisons; when both key columns
+share a selectively-trusted party, the matching can be outsourced: the STP
+learns only the obliviously shuffled key columns, joins them in the clear,
+and hands back *index relations* that let the parties reconstruct the joined
+rows with an oblivious-indexing protocol costing
+``O((n+m) log(n+m))`` — the asymptotic improvement Figure 5a measures.
+
+Leakage: the STP learns the two key columns (in shuffled order); every party
+learns the join's output cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+from repro.hybrid.stp import LeakageReport, SelectivelyTrustedParty
+from repro.mpc.oblivious import oblivious_index, oblivious_shuffle
+from repro.mpc.protocols import SharedTable
+from repro.mpc.secretshare import SharedVector
+from repro.mpc.sharemind import SharemindBackend
+
+
+def hybrid_join(
+    backend: SharemindBackend,
+    stp: SelectivelyTrustedParty,
+    left: SharedTable,
+    right: SharedTable,
+    left_on: str,
+    right_on: str,
+    leakage: LeakageReport | None = None,
+    suffix: str = "_r",
+) -> SharedTable:
+    """Execute the hybrid join and return the secret-shared result."""
+    engine = backend.engine
+    leakage = leakage if leakage is not None else LeakageReport()
+
+    # Step 1: obliviously shuffle both inputs so revealed keys are unlinkable
+    # to input positions.
+    left_cols = oblivious_shuffle(engine, left.columns)
+    right_cols = oblivious_shuffle(engine, right.columns)
+    left = SharedTable(engine, left.schema, left_cols)
+    right = SharedTable(engine, right.schema, right_cols)
+
+    # Step 2: project the key columns and reveal them to the STP.
+    left_keys = engine.reveal_to(left.column(left_on), stp.name)
+    right_keys = engine.reveal_to(right.column(right_on), stp.name)
+    leakage.record(
+        "column_reveal", f"hybrid_join({left_on})", [left_on, right_on], [stp.name],
+        detail=f"{len(left_keys)}+{len(right_keys)} shuffled key values",
+    )
+
+    # Steps 3-5: the STP enumerates the key relations, joins them in the
+    # clear, and returns the matching row indices for each side.
+    key_schema_l = Schema([ColumnDef("key"), ColumnDef("left_idx")])
+    key_schema_r = Schema([ColumnDef("key"), ColumnDef("right_idx")])
+    left_enum = Table(key_schema_l, [left_keys, np.arange(len(left_keys), dtype=np.int64)])
+    right_enum = Table(key_schema_r, [right_keys, np.arange(len(right_keys), dtype=np.int64)])
+    joined_idx = stp.join(left_enum, right_enum, "key", "key")
+
+    left_indices = joined_idx.column("left_idx")
+    right_indices = joined_idx.column("right_idx")
+    output_rows = joined_idx.num_rows
+    leakage.record(
+        "cardinality", f"hybrid_join({left_on})", [], [],
+        detail=f"output rows = {output_rows} (visible to all parties)",
+    )
+
+    # The STP secret-shares the index relations back into the MPC.
+    left_idx_shared = engine.input_vector(left_indices, contributor=engine.party_names[0])
+    right_idx_shared = engine.input_vector(right_indices, contributor=engine.party_names[0])
+
+    # Step 6: oblivious indexing selects the matching rows on both sides.
+    left_rows = oblivious_index(engine, left.columns, left_idx_shared)
+    right_keep = [
+        (cdef, col)
+        for cdef, col in zip(right.schema, right.columns)
+        if cdef.name != right_on
+    ]
+    right_rows = oblivious_index(engine, [col for _, col in right_keep], right_idx_shared)
+
+    # Step 7: concatenate column-wise and reshuffle the result.
+    out_defs: list[ColumnDef] = list(left.schema.columns)
+    out_cols: list[SharedVector] = list(left_rows)
+    taken = {c.name for c in out_defs}
+    for (cdef, _), col in zip(right_keep, right_rows):
+        name = cdef.name + suffix if cdef.name in taken else cdef.name
+        out_defs.append(ColumnDef(name, cdef.ctype, cdef.trust))
+        out_cols.append(col)
+
+    shuffled = oblivious_shuffle(engine, out_cols)
+    return SharedTable(engine, Schema(out_defs), shuffled)

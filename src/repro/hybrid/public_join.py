@@ -1,0 +1,86 @@
+"""Public join protocol (§5.3).
+
+When the join key columns on both sides are public, any party may see them.
+The protocol sends the key columns to a host party, which enumerates and
+joins them in the clear and broadcasts the matching row-index pairs.  The
+indices are public, so the parties can gather the matching rows from the
+secret-shared inputs locally — no oblivious shuffling or indexing is needed,
+"avoiding the use of MPC altogether" for the matching step (the local
+cleartext join at the host is the bottleneck, as Figure 5a shows).
+
+Leakage: every party may learn the key columns (they are public by
+annotation) and the output cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+from repro.hybrid.stp import LeakageReport, SelectivelyTrustedParty
+from repro.mpc.protocols import SharedTable
+from repro.mpc.secretshare import SharedVector
+from repro.mpc.sharemind import SharemindBackend
+
+
+def public_join(
+    backend: SharemindBackend,
+    host: SelectivelyTrustedParty,
+    left: SharedTable,
+    right: SharedTable,
+    left_on: str,
+    right_on: str,
+    leakage: LeakageReport | None = None,
+    suffix: str = "_r",
+) -> SharedTable:
+    """Execute the public join and return the secret-shared result."""
+    engine = backend.engine
+    leakage = leakage if leakage is not None else LeakageReport()
+
+    # Send the (public) key columns to the host party.
+    left_keys = engine.reveal_to(left.column(left_on), host.name)
+    right_keys = engine.reveal_to(right.column(right_on), host.name)
+    leakage.record(
+        "column_reveal", f"public_join({left_on})", [left_on, right_on], [host.name],
+        detail="public key columns",
+    )
+
+    # The host enumerates and joins the keys in the clear.
+    left_enum = Table(
+        Schema([ColumnDef("key"), ColumnDef("left_idx")]),
+        [left_keys, np.arange(len(left_keys), dtype=np.int64)],
+    )
+    right_enum = Table(
+        Schema([ColumnDef("key"), ColumnDef("right_idx")]),
+        [right_keys, np.arange(len(right_keys), dtype=np.int64)],
+    )
+    joined_idx = host.join(left_enum, right_enum, "key", "key")
+    left_indices = joined_idx.column("left_idx")
+    right_indices = joined_idx.column("right_idx")
+    leakage.record(
+        "cardinality", f"public_join({left_on})", [], [],
+        detail=f"output rows = {joined_idx.num_rows} (indices broadcast to all parties)",
+    )
+
+    # The indices are public, so each party gathers the matching rows from
+    # its shares locally — no oblivious operations needed.
+    out_defs: list[ColumnDef] = list(left.schema.columns)
+    out_cols: list[SharedVector] = [
+        _public_gather(engine, col, left_indices) for col in left.columns
+    ]
+    taken = {c.name for c in out_defs}
+    for cdef, col in zip(right.schema, right.columns):
+        if cdef.name == right_on:
+            continue
+        name = cdef.name + suffix if cdef.name in taken else cdef.name
+        out_defs.append(ColumnDef(name, cdef.ctype, cdef.trust))
+        out_cols.append(_public_gather(engine, col, right_indices))
+
+    return SharedTable(engine, Schema(out_defs), out_cols)
+
+
+def _public_gather(engine, vec: SharedVector, indices: np.ndarray) -> SharedVector:
+    indices = np.asarray(indices, dtype=np.int64)
+    engine.meter.local_ops += len(indices)
+    return SharedVector(engine, [share[indices] for share in vec.shares])

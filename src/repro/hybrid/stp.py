@@ -1,0 +1,103 @@
+"""The selectively-trusted party (STP) and leakage accounting.
+
+Hybrid protocols "create a server-aided setting with leakage" (§3.2): the
+STP performs cleartext work on columns it was explicitly authorised to see,
+and all parties learn the cardinalities of hybrid inputs and outputs.  The
+classes here model the STP's local compute (re-using a cleartext backend)
+and record every reveal in a :class:`LeakageReport` so callers — and the
+tests — can audit exactly what left the cryptographic envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.table import Table
+
+
+@dataclass(frozen=True)
+class LeakageEvent:
+    """One disclosure made outside the MPC's cryptographic guarantees."""
+
+    #: Kind of disclosure: ``column_reveal``, ``cardinality``, ``output`` or
+    #: ``cleartext_transfer``.
+    kind: str
+    #: Relation the disclosure concerns.
+    relation: str
+    #: Columns disclosed (empty for pure cardinality leakage).
+    columns: tuple[str, ...]
+    #: Parties that learn the disclosed data.
+    parties: tuple[str, ...]
+    #: Free-text detail (e.g. the row count for cardinality events).
+    detail: str = ""
+
+
+@dataclass
+class LeakageReport:
+    """Accumulates every disclosure of one query execution."""
+
+    events: list[LeakageEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        relation: str,
+        columns: Sequence[str] = (),
+        parties: Sequence[str] = (),
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            LeakageEvent(kind, relation, tuple(columns), tuple(parties), detail)
+        )
+
+    def column_reveals_to(self, party: str) -> list[LeakageEvent]:
+        """All column disclosures a given party received."""
+        return [
+            e for e in self.events if e.kind == "column_reveal" and party in e.parties
+        ]
+
+    def cardinality_events(self) -> list[LeakageEvent]:
+        return [e for e in self.events if e.kind == "cardinality"]
+
+    def summary(self) -> str:
+        lines = []
+        for e in self.events:
+            cols = ",".join(e.columns) if e.columns else "-"
+            parties = ",".join(e.parties) if e.parties else "all"
+            lines.append(f"{e.kind:<18} rel={e.relation:<28} cols={cols:<20} to={parties} {e.detail}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class SelectivelyTrustedParty:
+    """The aiding party of the hybrid protocols.
+
+    Wraps the party's cleartext backend so the hybrid protocols can run
+    their cleartext steps (enumeration, join, sort, flag computation) on it
+    while the simulated clock charges that work to the STP's local engine.
+    """
+
+    def __init__(self, name: str, engine):
+        self.name = name
+        self.engine = engine
+
+    def ingest(self, table: Table):
+        return self.engine.ingest(table, contributor=self.name)
+
+    def collect(self, handle) -> Table:
+        return self.engine.collect(handle)
+
+    def join(self, left: Table, right: Table, left_on: str, right_on: str) -> Table:
+        lh = self.engine.ingest(left, contributor=self.name)
+        rh = self.engine.ingest(right, contributor=self.name)
+        return self.engine.collect(self.engine.join(lh, rh, left_on, right_on))
+
+    def sort(self, table: Table, column: str) -> Table:
+        handle = self.engine.ingest(table, contributor=self.name)
+        return self.engine.collect(self.engine.sort_by(handle, column))
+
+    def elapsed_seconds(self) -> float:
+        return self.engine.elapsed_seconds()

@@ -1,0 +1,44 @@
+"""MPC substrate.
+
+This package implements, from scratch, the secure-computation substrates the
+Conclave prototype drives externally:
+
+* :mod:`repro.mpc.secretshare` — additive secret sharing over Z_2^64 with
+  Beaver-triple multiplication (the arithmetic core of a Sharemind-style
+  three-party backend).
+* :mod:`repro.mpc.network` — a simulated party-to-party network that counts
+  messages, bytes and communication rounds.
+* :mod:`repro.mpc.runtime` — cost models that convert counted work
+  (multiplications, comparisons, rounds, bytes, local ops) into simulated
+  wall-clock seconds, calibrated against the paper's Figure 1.
+* :mod:`repro.mpc.oblivious` — oblivious sub-protocols: shuffle, bitonic
+  sort, Laud-style oblivious indexing, and oblivious merge.
+* :mod:`repro.mpc.protocols` — oblivious relational operators (project,
+  filter, Cartesian-product join, Jónsson-style sort-based aggregation)
+  executed over secret-shared tables.
+* :mod:`repro.mpc.sharemind` — a Sharemind-like three-party MPC backend
+  facade used by the compiler's code generator.
+* :mod:`repro.mpc.garbled` — an Obliv-C-like two-party garbled-circuit
+  backend: circuits are built gate-by-gate with realistic state (wire label)
+  accounting and a memory limit that reproduces the OOM behaviour reported
+  in the paper.
+"""
+
+from repro.mpc.secretshare import AdditiveSharing, SharedVector
+from repro.mpc.network import Network, NetworkStats
+from repro.mpc.runtime import CostMeter, SharemindCostModel, GarbledCostModel
+from repro.mpc.sharemind import SharemindBackend
+from repro.mpc.garbled import OblivCBackend, CircuitMemoryError
+
+__all__ = [
+    "AdditiveSharing",
+    "SharedVector",
+    "Network",
+    "NetworkStats",
+    "CostMeter",
+    "SharemindCostModel",
+    "GarbledCostModel",
+    "SharemindBackend",
+    "OblivCBackend",
+    "CircuitMemoryError",
+]

@@ -1,0 +1,132 @@
+"""Simulated party-to-party network.
+
+MPC protocols are communication-bound: secret-sharing multiplications need a
+message exchange, oblivious shuffles reshare whole relations, and garbled
+circuits ship megabytes of truth tables.  The real Conclave prototype pays
+these costs on actual datacentre links; here every transfer goes through a
+:class:`Network` object that records messages, bytes, and *rounds* (batches
+of messages that could be sent in parallel), so the cost models in
+:mod:`repro.mpc.runtime` can reconstruct realistic wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for one protocol execution."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    rounds: int = 0
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.bytes_sent += other.bytes_sent
+        self.rounds += other.rounds
+
+    def copy(self) -> "NetworkStats":
+        return NetworkStats(self.messages, self.bytes_sent, self.rounds)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.rounds = 0
+
+
+@dataclass
+class Message:
+    """A single message in flight between two parties."""
+
+    sender: str
+    receiver: str
+    payload: Any
+    size_bytes: int
+
+
+class Network:
+    """In-process message fabric connecting the computing parties.
+
+    Parties address each other by name.  ``send`` enqueues a message;
+    ``recv`` pops the oldest message for a receiver (optionally filtered by
+    sender).  ``barrier`` marks the end of a communication round: all
+    messages sent since the previous barrier are assumed to travel in
+    parallel, so they contribute a single round-trip latency to the cost
+    model regardless of how many parties exchanged data.
+    """
+
+    #: Wire size of one 64-bit field element (share), in bytes.
+    SHARE_BYTES = 8
+
+    def __init__(self, party_names: list[str]):
+        if len(set(party_names)) != len(party_names):
+            raise ValueError("party names must be unique")
+        self.party_names = list(party_names)
+        self._queues: dict[str, list[Message]] = {p: [] for p in party_names}
+        self.stats = NetworkStats()
+        self._sent_since_barrier = 0
+
+    def send(self, sender: str, receiver: str, payload: Any, size_bytes: int) -> None:
+        """Send ``payload`` from ``sender`` to ``receiver``."""
+        self._check_party(sender)
+        self._check_party(receiver)
+        if sender == receiver:
+            raise ValueError("a party cannot send a network message to itself")
+        msg = Message(sender, receiver, payload, int(size_bytes))
+        self._queues[receiver].append(msg)
+        self.stats.messages += 1
+        self.stats.bytes_sent += int(size_bytes)
+        self._sent_since_barrier += 1
+
+    def recv(self, receiver: str, sender: str | None = None) -> Any:
+        """Receive the oldest pending message for ``receiver``.
+
+        If ``sender`` is given, the oldest message from that sender is
+        returned instead.  Raises ``LookupError`` if nothing is pending.
+        """
+        self._check_party(receiver)
+        queue = self._queues[receiver]
+        for i, msg in enumerate(queue):
+            if sender is None or msg.sender == sender:
+                queue.pop(i)
+                return msg.payload
+        raise LookupError(f"no pending message for {receiver!r} from {sender!r}")
+
+    def broadcast(self, sender: str, payload: Any, size_bytes: int) -> None:
+        """Send ``payload`` from ``sender`` to every other party."""
+        for receiver in self.party_names:
+            if receiver != sender:
+                self.send(sender, receiver, payload, size_bytes)
+
+    def barrier(self) -> None:
+        """Mark the end of a communication round."""
+        if self._sent_since_barrier > 0:
+            self.stats.rounds += 1
+            self._sent_since_barrier = 0
+
+    def pending(self, receiver: str) -> int:
+        """Number of undelivered messages addressed to ``receiver``."""
+        return len(self._queues[receiver])
+
+    def account_rounds(self, rounds: int, bytes_per_round: int, messages_per_round: int = 1) -> None:
+        """Record traffic analytically without materialising messages.
+
+        Used by the cost-estimation paths of the protocols for data sizes
+        where executing the real share exchanges would be needlessly slow.
+        """
+        if rounds < 0 or bytes_per_round < 0:
+            raise ValueError("rounds and bytes must be non-negative")
+        self.stats.rounds += int(rounds)
+        self.stats.messages += int(rounds) * int(messages_per_round)
+        self.stats.bytes_sent += int(rounds) * int(bytes_per_round)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self._sent_since_barrier = 0
+
+    def _check_party(self, name: str) -> None:
+        if name not in self._queues:
+            raise KeyError(f"unknown party {name!r}; known parties: {self.party_names}")

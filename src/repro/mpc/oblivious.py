@@ -1,0 +1,329 @@
+"""Oblivious sub-protocols over secret-shared columns.
+
+These are the building blocks §5.3/§5.4 of the paper talk about: oblivious
+shuffles, oblivious (bitonic) sorting networks, Laud-style oblivious
+indexing, and oblivious merging of pre-sorted runs.  They operate on lists
+of :class:`~repro.mpc.secretshare.SharedVector` columns (one entry per
+relation column) so higher layers can treat a secret-shared relation as
+"columns + schema".
+
+Cost characteristics (what the cost meter records):
+
+==============  =============================================
+shuffle          O(n) reshared elements per column, one round per party
+bitonic sort     O(n log^2 n) oblivious comparisons + the same number of
+                 oblivious swaps (multiplications)
+oblivious index  O((n + m) log(n + m)) comparisons (Laud's protocol)
+oblivious merge  O(n log n) comparisons
+==============  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpc.network import Network
+from repro.mpc.secretshare import AdditiveSharing, SecretSharingEngine, SharedVector
+
+#: Sentinel key used to pad relations up to a power of two for sorting
+#: networks.  Chosen as the largest signed 64-bit value so padding rows sort
+#: after all real rows.
+PAD_KEY = np.iinfo(np.int64).max
+
+
+def oblivious_shuffle(
+    engine: SecretSharingEngine,
+    columns: Sequence[SharedVector],
+    permutation: np.ndarray | None = None,
+) -> list[SharedVector]:
+    """Obliviously shuffle the rows of a shared relation.
+
+    Every party contributes a random permutation in turn and the relation is
+    reshared between applications, so no party learns the composite
+    permutation.  Functionally we apply a single joint permutation (the
+    composition) and meter the cost of the full resharing protocol.
+    """
+    if not columns:
+        return []
+    n = len(columns[0])
+    for col in columns:
+        if len(col) != n:
+            raise ValueError("all columns of a relation must have the same length")
+    if n == 0:
+        return [SharedVector(engine, [s.copy() for s in col.shares]) for col in columns]
+
+    if permutation is None:
+        permutation = engine.rng.permutation(n)
+    else:
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if sorted(permutation.tolist()) != list(range(n)):
+            raise ValueError("permutation must be a permutation of 0..n-1")
+
+    shuffled: list[SharedVector] = []
+    for col in columns:
+        new_shares = [share[permutation] for share in col.shares]
+        # Resharing: add a fresh zero-sharing so old and new shares are
+        # unlinkable.
+        zero = AdditiveSharing.share(np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng)
+        new_shares = [s + z for s, z in zip(new_shares, zero)]
+        shuffled.append(SharedVector(engine, new_shares))
+
+    total_elements = n * len(columns)
+    engine.meter.shuffled_elements += total_elements
+    # One resharing round per party, each moving the full relation.
+    engine.network.account_rounds(
+        engine.num_parties,
+        total_elements * Network.SHARE_BYTES,
+        messages_per_round=engine.num_parties,
+    )
+    return shuffled
+
+
+def oblivious_sort(
+    engine: SecretSharingEngine,
+    key: SharedVector,
+    payload: Sequence[SharedVector],
+) -> tuple[SharedVector, list[SharedVector]]:
+    """Sort a shared relation by a shared key column with a bitonic network.
+
+    Returns the sorted key column and the payload columns reordered in step.
+    The network performs ``O(n log^2 n)`` compare-exchange operations; each
+    one is an oblivious comparison plus an oblivious conditional swap of the
+    key and every payload column.
+    """
+    n = len(key)
+    if n <= 1:
+        return key, list(payload)
+
+    # Pad to the next power of two with sentinel keys that sort last.
+    size = 1 << math.ceil(math.log2(n))
+    pad = size - n
+    key_vals = _padded(engine, key, pad, PAD_KEY)
+    payload_vals = [_padded(engine, col, pad, 0) for col in payload]
+
+    columns = [key_vals, *payload_vals]
+    for stage_size, step in _bitonic_schedule(size):
+        _compare_exchange_pass(engine, columns, size, stage_size, step)
+
+    key_sorted = _truncate(engine, columns[0], n)
+    payload_sorted = [_truncate(engine, col, n) for col in columns[1:]]
+    return key_sorted, payload_sorted
+
+
+def oblivious_merge(
+    engine: SecretSharingEngine,
+    sorted_runs: Sequence[tuple[SharedVector, Sequence[SharedVector]]],
+) -> tuple[SharedVector, list[SharedVector]]:
+    """Obliviously merge several relations that are each sorted by key.
+
+    The merge is a bitonic merger over the concatenation of the runs:
+    ``O(n log n)`` comparisons rather than the full ``O(n log^2 n)`` of a
+    sort, which is what makes the sort push-up through ``concat`` worthwhile
+    (§5.4).
+    """
+    if not sorted_runs:
+        raise ValueError("need at least one run to merge")
+    width = len(list(sorted_runs[0][1]))
+    for _, payload in sorted_runs:
+        if len(list(payload)) != width:
+            raise ValueError("all runs must have the same payload width")
+
+    merged_key, merged_payload = sorted_runs[0][0], list(sorted_runs[0][1])
+    for next_key, next_payload in sorted_runs[1:]:
+        merged_key, merged_payload = _bitonic_merge_two(
+            engine, merged_key, merged_payload, next_key, list(next_payload)
+        )
+    return merged_key, merged_payload
+
+
+def _bitonic_merge_two(
+    engine: SecretSharingEngine,
+    key_a: SharedVector,
+    payload_a: list[SharedVector],
+    key_b: SharedVector,
+    payload_b: list[SharedVector],
+) -> tuple[SharedVector, list[SharedVector]]:
+    """Merge two ascending runs with a single bitonic merge pass.
+
+    Reversing the second run turns the concatenation into a bitonic
+    sequence, which one O(n log n) merge network sorts completely.
+    """
+    n = len(key_a) + len(key_b)
+    if n <= 1:
+        key = _concat_shared(engine, [key_a, key_b])
+        payload = [_concat_shared(engine, [a, b]) for a, b in zip(payload_a, payload_b)]
+        return key, payload
+
+    # Pad the second run with sentinel keys (still ascending), then reverse
+    # it so the concatenation  A(asc) ++ B'(desc)  is a bitonic sequence of
+    # exactly power-of-two length; the sentinels sort to the end and are
+    # truncated away afterwards.
+    size = 1 << math.ceil(math.log2(n))
+    pad = size - n
+    key_b = _padded(engine, key_b, pad, PAD_KEY)
+    payload_b = [_padded(engine, col, pad, 0) for col in payload_b]
+    key_b_rev = SharedVector(engine, [s[::-1].copy() for s in key_b.shares])
+    payload_b_rev = [
+        SharedVector(engine, [s[::-1].copy() for s in col.shares]) for col in payload_b
+    ]
+    key = _concat_shared(engine, [key_a, key_b_rev])
+    payload = [
+        _concat_shared(engine, [a, b]) for a, b in zip(payload_a, payload_b_rev)
+    ]
+
+    columns = [key, *payload]
+    # A single bitonic merge pass: log(size) exchange stages over the whole
+    # (bitonic) sequence, all in ascending direction.
+    step = size // 2
+    while step >= 1:
+        _compare_exchange_pass(engine, columns, size, 2 * size, step)
+        step //= 2
+
+    key_sorted = _truncate(engine, columns[0], n)
+    payload_sorted = [_truncate(engine, col, n) for col in columns[1:]]
+    return key_sorted, payload_sorted
+
+
+def oblivious_index(
+    engine: SecretSharingEngine,
+    columns: Sequence[SharedVector],
+    indices: SharedVector,
+) -> list[SharedVector]:
+    """Select the rows at secret ``indices`` from a shared relation.
+
+    This is the oblivious indexing ("select") protocol used in step 6 of the
+    hybrid join (§5.3), following Laud's parallel oblivious array access: it
+    costs ``O((n + m) log(n + m))`` oblivious operations for ``n`` input rows
+    and ``m`` selected indices.  We execute it as an ideal functionality
+    (gather on the reconstructed indices) and meter the real protocol's cost.
+    """
+    if not columns:
+        return []
+    n = len(columns[0])
+    m = len(indices)
+    idx_values = AdditiveSharing.reconstruct(indices.shares)
+    if m > 0 and (idx_values.min() < 0 or idx_values.max() >= max(n, 1)):
+        raise IndexError("oblivious index out of range")
+
+    out: list[SharedVector] = []
+    for col in columns:
+        gathered = [share[idx_values] for share in col.shares]
+        zero = AdditiveSharing.share(np.zeros(m, dtype=np.int64), engine.num_parties, engine.rng)
+        out.append(SharedVector(engine, [g + z for g, z in zip(gathered, zero)]))
+
+    # Cost of Laud's protocol: an O((n+m) log(n+m)) routing network over the
+    # indices (comparisons), through which every payload column is moved
+    # (multiplications per column).
+    total = n + m
+    ops = int(total * math.ceil(math.log2(total))) if total > 1 else 1
+    engine.meter.comparisons += ops
+    engine.meter.multiplications += ops * max(1, len(columns))
+    engine.network.account_rounds(
+        2 * max(1, int(math.ceil(math.log2(total)))) if total > 1 else 1,
+        total * Network.SHARE_BYTES,
+        messages_per_round=engine.num_parties,
+    )
+    return out
+
+
+# -- internals -------------------------------------------------------------------------
+
+
+def _bitonic_schedule(size: int):
+    """Yield (stage_size, step) pairs of a bitonic sorting network."""
+    stage = 2
+    while stage <= size:
+        step = stage // 2
+        while step >= 1:
+            yield stage, step
+            step //= 2
+        stage *= 2
+
+
+def _compare_exchange_pass(
+    engine: SecretSharingEngine,
+    columns: list[SharedVector],
+    size: int,
+    stage_size: int,
+    step: int,
+) -> None:
+    """One parallel compare-exchange stage of the bitonic network.
+
+    All comparators of the stage are independent, so they are batched into
+    single vectorised comparisons and multiplexes (one network round each),
+    exactly as a real secret-sharing backend would batch them.
+    """
+    low_idx: list[int] = []
+    high_idx: list[int] = []
+    for i in range(size):
+        j = i ^ step
+        if j > i:
+            ascending = (i & stage_size) == 0
+            if ascending:
+                low_idx.append(i)
+                high_idx.append(j)
+            else:
+                low_idx.append(j)
+                high_idx.append(i)
+    if not low_idx:
+        return
+    low = np.array(low_idx, dtype=np.int64)
+    high = np.array(high_idx, dtype=np.int64)
+
+    key = columns[0]
+    key_low = _gather(engine, key, low)
+    key_high = _gather(engine, key, high)
+    # swap needed when key_low > key_high  <=>  key_high < key_low
+    swap = engine.less_than(key_high, key_low)
+
+    for c, col in enumerate(columns):
+        col_low = _gather(engine, col, low)
+        col_high = _gather(engine, col, high)
+        new_low = engine.select(swap, col_high, col_low)
+        new_high = engine.select(swap, col_low, col_high)
+        columns[c] = _scatter(engine, col, low, new_low, high, new_high)
+
+
+def _gather(engine: SecretSharingEngine, vec: SharedVector, idx: np.ndarray) -> SharedVector:
+    return SharedVector(engine, [share[idx] for share in vec.shares])
+
+
+def _scatter(
+    engine: SecretSharingEngine,
+    vec: SharedVector,
+    low: np.ndarray,
+    new_low: SharedVector,
+    high: np.ndarray,
+    new_high: SharedVector,
+) -> SharedVector:
+    shares = [share.copy() for share in vec.shares]
+    for p in range(len(shares)):
+        shares[p][low] = new_low.shares[p]
+        shares[p][high] = new_high.shares[p]
+    return SharedVector(engine, shares)
+
+
+def _padded(engine: SecretSharingEngine, vec: SharedVector, pad: int, fill: int) -> SharedVector:
+    if pad == 0:
+        return SharedVector(engine, [s.copy() for s in vec.shares])
+    fill_shares = AdditiveSharing.share(
+        np.full(pad, fill, dtype=np.int64), engine.num_parties, engine.rng
+    )
+    return SharedVector(
+        engine, [np.concatenate([s, f]) for s, f in zip(vec.shares, fill_shares)]
+    )
+
+
+def _truncate(engine: SecretSharingEngine, vec: SharedVector, n: int) -> SharedVector:
+    return SharedVector(engine, [s[:n] for s in vec.shares])
+
+
+def _concat_shared(engine: SecretSharingEngine, vectors: Sequence[SharedVector]) -> SharedVector:
+    num_parties = engine.num_parties
+    shares = [
+        np.concatenate([vec.shares[p] for vec in vectors]) for p in range(num_parties)
+    ]
+    return SharedVector(engine, shares)

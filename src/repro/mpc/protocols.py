@@ -1,0 +1,509 @@
+"""Oblivious relational operators over secret-shared tables.
+
+The paper implements "the same standard MPC algorithms for joins (a
+Cartesian product approach) and aggregations [Jónsson et al.]" in both
+Sharemind and Obliv-C (§6).  This module provides those algorithms — plus
+project, filter, concat, distinct, sort and arithmetic — over a
+:class:`SharedTable`, which wraps one :class:`SharedVector` per column
+together with the cleartext :class:`~repro.data.schema.Schema`.
+
+All operators are *functional*: results reconstruct to the same rows a
+cleartext engine would produce (up to row order, which MPC deliberately
+randomises), and every oblivious operation is charged to the engine's cost
+meter so the backends can report realistic simulated runtimes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+from repro.mpc.oblivious import (
+    oblivious_index,
+    oblivious_merge,
+    oblivious_shuffle,
+    oblivious_sort,
+)
+from repro.mpc.secretshare import SecretSharingEngine, SharedVector
+
+#: Fixed-point scaling factor used to carry fractional values (divisions)
+#: through the integer secret-sharing ring.
+FIXED_POINT_SCALE = 1_000_000
+
+
+class SharedTable:
+    """A secret-shared relation: a schema plus one shared column per field."""
+
+    def __init__(self, engine: SecretSharingEngine, schema: Schema, columns: Sequence[SharedVector]):
+        if len(schema) != len(columns):
+            raise ValueError("schema width does not match number of shared columns")
+        n = len(columns[0]) if columns else 0
+        for col in columns:
+            if len(col) != n:
+                raise ValueError("all shared columns must have the same length")
+        self.engine = engine
+        self.schema = schema
+        self.columns = list(columns)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls, engine: SecretSharingEngine, table: Table, contributor: str | None = None
+    ) -> "SharedTable":
+        """Secret-share a cleartext table into the MPC."""
+        columns = []
+        for cdef in table.schema:
+            values = table.column(cdef.name)
+            if cdef.ctype is ColumnType.FLOAT:
+                values = np.round(values * FIXED_POINT_SCALE).astype(np.int64)
+            columns.append(engine.input_vector(values, contributor=contributor))
+        return cls(engine, table.schema, columns)
+
+    def reveal(self) -> Table:
+        """Open the whole relation to all parties as a cleartext table."""
+        arrays = []
+        for cdef, col in zip(self.schema, self.columns):
+            values = self.engine.open(col)
+            if cdef.ctype is ColumnType.FLOAT:
+                arrays.append(values.astype(np.float64) / FIXED_POINT_SCALE)
+            else:
+                arrays.append(values)
+        return Table(self.schema, arrays)
+
+    def reveal_to(self, party: str) -> Table:
+        """Open the whole relation to a single party."""
+        arrays = []
+        for cdef, col in zip(self.schema, self.columns):
+            values = self.engine.reveal_to(col, party)
+            if cdef.ctype is ColumnType.FLOAT:
+                arrays.append(values.astype(np.float64) / FIXED_POINT_SCALE)
+            else:
+                arrays.append(values)
+        return Table(self.schema, arrays)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name: str) -> SharedVector:
+        return self.columns[self.schema.index_of(name)]
+
+    def _replace(self, schema: Schema, columns: Sequence[SharedVector]) -> "SharedTable":
+        return SharedTable(self.engine, schema, list(columns))
+
+
+# -- relational operators ----------------------------------------------------------------
+
+
+def mpc_project(table: SharedTable, names: Sequence[str]) -> SharedTable:
+    """Projection: drop / reorder columns.  Requires no oblivious operations."""
+    names = list(names)
+    idx = table.schema.indices_of(names)
+    table.engine.meter.local_ops += table.num_rows * len(names)
+    return table._replace(table.schema.project(names), [table.columns[i] for i in idx])
+
+
+def mpc_concat(tables: Sequence[SharedTable]) -> SharedTable:
+    """Duplicate-preserving union of shared relations with identical schemas."""
+    if not tables:
+        raise ValueError("need at least one relation to concatenate")
+    first = tables[0]
+    for t in tables[1:]:
+        if not first.schema.concat_compatible(t.schema):
+            raise ValueError("cannot concat shared relations with different schemas")
+        if t.engine is not first.engine:
+            raise ValueError("cannot concat relations from different MPC engines")
+    engine = first.engine
+    columns = []
+    for c in range(len(first.schema)):
+        shares = [
+            np.concatenate([t.columns[c].shares[p] for t in tables])
+            for p in range(engine.num_parties)
+        ]
+        columns.append(SharedVector(engine, shares))
+    engine.meter.local_ops += sum(t.num_rows for t in tables) * len(first.schema)
+    return SharedTable(engine, first.schema, columns)
+
+
+def mpc_multiply(
+    table: SharedTable, out_name: str, left: str, right: str | int
+) -> SharedTable:
+    """Append ``out_name = left * right`` (column or public scalar).
+
+    When both operands carry fixed-point (FLOAT) values, the product is
+    rescaled by :data:`FIXED_POINT_SCALE` with a truncation step, as a real
+    secret-sharing backend would do after a fixed-point multiplication.
+    """
+    engine = table.engine
+    lcol = table.column(left)
+    out_type = table.schema[left].ctype
+    if isinstance(right, str):
+        result = engine.mul(lcol, table.column(right))
+        if (
+            table.schema[left].ctype is ColumnType.FLOAT
+            and table.schema[right].ctype is ColumnType.FLOAT
+        ):
+            result = _truncate_fixed_point(engine, result)
+            out_type = ColumnType.FLOAT
+        elif table.schema[right].ctype is ColumnType.FLOAT:
+            out_type = ColumnType.FLOAT
+    else:
+        result = engine.scale(lcol, int(right))
+    schema = table.schema.with_column(ColumnDef(out_name, out_type))
+    return table._replace(schema, [*table.columns, result])
+
+
+def _truncate_fixed_point(engine: SecretSharingEngine, vec: SharedVector) -> SharedVector:
+    """Rescale a double-width fixed-point product back to single precision.
+
+    Executed as an ideal functionality (reconstruct, divide, re-share) with
+    the cost of a probabilistic truncation protocol (one multiplication and
+    one round per element) charged to the meter.
+    """
+    from repro.mpc.secretshare import AdditiveSharing
+
+    n = len(vec)
+    values = AdditiveSharing.reconstruct(vec.shares)
+    truncated = values // FIXED_POINT_SCALE
+    engine.meter.multiplications += n
+    engine.network.account_rounds(1, n * 8, messages_per_round=engine.num_parties)
+    shares = AdditiveSharing.share(truncated, engine.num_parties, engine.rng)
+    return SharedVector(engine, shares)
+
+
+def mpc_divide(table: SharedTable, out_name: str, left: str, right: str) -> SharedTable:
+    """Append ``out_name = left / right`` as a fixed-point division.
+
+    Division under secret sharing is notoriously expensive; the standard
+    approach (Goldschmidt iteration) costs tens of multiplications per
+    element.  We execute it as an ideal functionality over the reconstructed
+    fixed-point values and meter that realistic cost.
+    """
+    engine = table.engine
+    n = table.num_rows
+    lvals = _decode_column(table, left)
+    rvals = _decode_column(table, right)
+    result = np.divide(
+        lvals,
+        rvals,
+        out=np.zeros(n, dtype=np.float64),
+        where=rvals != 0,
+    )
+    encoded = np.round(result * FIXED_POINT_SCALE).astype(np.int64)
+    # Goldschmidt division: ~5 iterations of 3 multiplications each.
+    engine.meter.multiplications += 15 * n
+    engine.network.account_rounds(10, n * 8, messages_per_round=engine.num_parties)
+    from repro.mpc.secretshare import AdditiveSharing
+
+    shares = AdditiveSharing.share(encoded, engine.num_parties, engine.rng)
+    out_col = SharedVector(engine, shares)
+    schema = table.schema.with_column(ColumnDef(out_name, ColumnType.FLOAT))
+    return table._replace(schema, [*table.columns, out_col])
+
+
+def mpc_filter(table: SharedTable, column: str, op: str, value: int) -> SharedTable:
+    """Oblivious filter against a public constant.
+
+    The filter produces secret 0/1 flags, obliviously shuffles the relation,
+    reveals the flags and discards non-matching rows — the standard
+    size-revealing filter used by the paper's baselines.
+    """
+    engine = table.engine
+    col = table.column(column)
+    if op == "==":
+        flags = engine.equals(col, value)
+    elif op == "!=":
+        eq = engine.equals(col, value)
+        flags = engine.sub(engine.constant(np.ones(len(eq), dtype=np.int64)), eq)
+    elif op == "<":
+        flags = engine.less_than(col, value)
+    elif op == ">":
+        gt_or_eq = engine.less_than(col, value)
+        eq = engine.equals(col, value)
+        both = engine.add(gt_or_eq, eq)
+        flags = engine.sub(engine.constant(np.ones(len(both), dtype=np.int64)), both)
+    elif op == "<=":
+        lt = engine.less_than(col, value)
+        eq = engine.equals(col, value)
+        flags = engine.add(lt, eq)
+    elif op == ">=":
+        lt = engine.less_than(col, value)
+        flags = engine.sub(engine.constant(np.ones(len(lt), dtype=np.int64)), lt)
+    else:
+        raise ValueError(f"unsupported filter op {op!r}")
+
+    shuffled = oblivious_shuffle(engine, [flags, *table.columns])
+    flag_values = engine.open(shuffled[0])
+    keep = np.nonzero(flag_values)[0]
+    columns = [
+        SharedVector(engine, [share[keep] for share in col.shares]) for col in shuffled[1:]
+    ]
+    return table._replace(table.schema, columns)
+
+
+def mpc_sort(table: SharedTable, key: str, ascending: bool = True) -> SharedTable:
+    """Obliviously sort the relation by ``key`` with a bitonic network.
+
+    A descending sort runs the same ascending network and then reverses the
+    rows — the reversal is a public permutation, so it is free.
+    """
+    engine = table.engine
+    key_idx = table.schema.index_of(key)
+    payload = [c for i, c in enumerate(table.columns) if i != key_idx]
+    sorted_key, sorted_payload = oblivious_sort(engine, table.columns[key_idx], payload)
+    columns = list(sorted_payload)
+    columns.insert(key_idx, sorted_key)
+    if not ascending:
+        columns = [
+            SharedVector(engine, [share[::-1].copy() for share in col.shares])
+            for col in columns
+        ]
+    return table._replace(table.schema, columns)
+
+
+def mpc_merge_sorted(
+    tables: Sequence[SharedTable], key: str, ascending: bool = True
+) -> SharedTable:
+    """Obliviously merge relations that are each sorted (ascending) by ``key``.
+
+    Uses the bitonic merge of :func:`repro.mpc.oblivious.oblivious_merge`,
+    which costs O(n log n) comparisons instead of the O(n log^2 n) a full
+    re-sort of the concatenation would need.
+    """
+    if not tables:
+        raise ValueError("need at least one relation to merge")
+    first = tables[0]
+    engine = first.engine
+    for t in tables[1:]:
+        if t.engine is not engine:
+            raise ValueError("cannot merge relations from different MPC engines")
+        if not first.schema.concat_compatible(t.schema):
+            raise ValueError("cannot merge relations with different schemas")
+
+    key_idx = first.schema.index_of(key)
+    runs = []
+    for t in tables:
+        columns = t.columns
+        if not ascending:
+            # The merge network expects ascending runs; reversing a run is a
+            # public permutation and therefore free.
+            columns = [
+                SharedVector(engine, [share[::-1].copy() for share in col.shares])
+                for col in columns
+            ]
+        payload = [c for i, c in enumerate(columns) if i != key_idx]
+        runs.append((columns[key_idx], payload))
+    merged_key, merged_payload = oblivious_merge(engine, runs)
+    columns = list(merged_payload)
+    columns.insert(key_idx, merged_key)
+    if not ascending:
+        columns = [
+            SharedVector(engine, [share[::-1].copy() for share in col.shares])
+            for col in columns
+        ]
+    return SharedTable(engine, first.schema, columns)
+
+
+def mpc_join(
+    left: SharedTable,
+    right: SharedTable,
+    left_on: str,
+    right_on: str,
+    suffix: str = "_r",
+) -> SharedTable:
+    """Standard MPC join: Cartesian product of the two relations.
+
+    Every pair of rows is compared obliviously (``O(n*m)`` equality tests);
+    matching pairs are selected by obliviously shuffling the product and
+    revealing the match flags — the output size is therefore public, which
+    matches the baseline the paper benchmarks against (§7.3).
+    """
+    engine = left.engine
+    if right.engine is not engine:
+        raise ValueError("cannot join relations from different MPC engines")
+    n, m = left.num_rows, right.num_rows
+
+    # Build the flattened Cartesian product index vectors.
+    li = np.repeat(np.arange(n, dtype=np.int64), m)
+    ri = np.tile(np.arange(m, dtype=np.int64), n)
+
+    lkey = _gather_vector(engine, left.column(left_on), li)
+    rkey = _gather_vector(engine, right.column(right_on), ri)
+    flags = engine.equals(lkey, rkey)
+
+    # Assemble the product columns: all left columns, right non-key columns.
+    out_defs: list[ColumnDef] = list(left.schema.columns)
+    out_cols: list[SharedVector] = [
+        _gather_vector(engine, col, li) for col in left.columns
+    ]
+    taken = {c.name for c in out_defs}
+    for cdef, col in zip(right.schema, right.columns):
+        if cdef.name == right_on:
+            continue
+        name = cdef.name + suffix if cdef.name in taken else cdef.name
+        out_defs.append(ColumnDef(name, cdef.ctype, cdef.trust))
+        out_cols.append(_gather_vector(engine, col, ri))
+
+    shuffled = oblivious_shuffle(engine, [flags, *out_cols])
+    flag_values = engine.open(shuffled[0])
+    keep = np.nonzero(flag_values)[0]
+    columns = [
+        SharedVector(engine, [share[keep] for share in col.shares]) for col in shuffled[1:]
+    ]
+    return SharedTable(engine, Schema(out_defs), columns)
+
+
+def mpc_aggregate(
+    table: SharedTable,
+    group_by: str | None,
+    agg_col: str | None,
+    func: str,
+    out_name: str,
+    presorted: bool = False,
+) -> SharedTable:
+    """Sort-based oblivious aggregation (Jónsson et al.).
+
+    The relation is obliviously sorted by the group-by key, the aggregate is
+    accumulated into the last row of every key group with an oblivious linear
+    scan, and non-final rows are discarded after an oblivious shuffle and a
+    flag reveal.  ``presorted=True`` skips the sort — this is exactly the
+    saving Conclave's sort-elimination pass (§5.4) exploits.
+
+    With ``group_by=None`` the whole relation reduces to one row, which needs
+    only local share additions (sums) — the cheap case in Figure 1a.
+    """
+    func = func.lower()
+    engine = table.engine
+    n = table.num_rows
+
+    if group_by is None:
+        return _mpc_scalar_aggregate(table, agg_col, func, out_name)
+
+    if func == "count":
+        value_col = engine.constant(np.ones(n, dtype=np.int64))
+        out_type = ColumnType.INT
+    else:
+        if func not in ("sum", "min", "max"):
+            raise ValueError(
+                f"oblivious grouped aggregation supports sum/count/min/max, got {func!r}"
+            )
+        value_col = table.column(agg_col)
+        out_type = table.schema[agg_col].ctype
+
+    key_col = table.column(group_by)
+    if not presorted and n > 1:
+        key_col, payload = oblivious_sort(engine, key_col, [value_col])
+        value_col = payload[0]
+
+    if n == 0:
+        schema = Schema([table.schema[group_by], ColumnDef(out_name, out_type)])
+        empty = SharedVector(engine, [np.empty(0, dtype=np.uint64)] * engine.num_parties)
+        return SharedTable(engine, schema, [empty, empty])
+
+    # Oblivious accumulation scan: fold each row's value into the next row of
+    # the same key group; a row is "last of its group" if the next key differs.
+    ones = engine.constant(np.ones(n, dtype=np.int64))
+    keep_flags = ones
+    acc = value_col
+    if n > 1:
+        prev_key = _gather_vector(engine, key_col, np.arange(0, n - 1, dtype=np.int64))
+        next_key = _gather_vector(engine, key_col, np.arange(1, n, dtype=np.int64))
+        same_as_next = engine.equals(prev_key, next_key)  # length n-1, row i vs i+1
+
+        # Accumulate sequentially (the real protocol does a logarithmic-depth
+        # scan; we charge the same number of multiplications).
+        acc_shares = [s.copy() for s in value_col.shares]
+        acc = SharedVector(engine, acc_shares)
+        for i in range(1, n):
+            carry_flag = _gather_vector(engine, same_as_next, np.array([i - 1], dtype=np.int64))
+            prev_val = _gather_vector(engine, acc, np.array([i - 1], dtype=np.int64))
+            cur_val = _gather_vector(engine, acc, np.array([i], dtype=np.int64))
+            if func in ("sum", "count"):
+                new_val = engine.add(cur_val, engine.mul(carry_flag, prev_val))
+            else:
+                # Grouped min/max: fold the better of the two values forward
+                # when the previous row belongs to the same group.
+                prev_better = engine.less_than(prev_val, cur_val)
+                if func == "max":
+                    prev_better = engine.sub(
+                        engine.constant(np.ones(1, dtype=np.int64)), prev_better
+                    )
+                folded = engine.select(prev_better, prev_val, cur_val)
+                new_val = engine.select(carry_flag, folded, cur_val)
+            for p in range(engine.num_parties):
+                acc.shares[p][i] = new_val.shares[p][0]
+
+        # Row i is kept iff it is the last of its group: key[i] != key[i+1]
+        # (or i == n-1).
+        last_flags = engine.sub(
+            engine.constant(np.ones(n - 1, dtype=np.int64)), same_as_next
+        )
+        keep_shares = [np.empty(n, dtype=np.uint64) for _ in range(engine.num_parties)]
+        one_shared = engine.constant(np.ones(1, dtype=np.int64))
+        for p in range(engine.num_parties):
+            keep_shares[p][: n - 1] = last_flags.shares[p]
+            keep_shares[p][n - 1] = one_shared.shares[p][0]
+        keep_flags = SharedVector(engine, keep_shares)
+
+    shuffled = oblivious_shuffle(engine, [keep_flags, key_col, acc])
+    flag_values = engine.open(shuffled[0])
+    keep = np.nonzero(flag_values)[0]
+    key_out = SharedVector(engine, [s[keep] for s in shuffled[1].shares])
+    val_out = SharedVector(engine, [s[keep] for s in shuffled[2].shares])
+
+    schema = Schema([table.schema[group_by], ColumnDef(out_name, out_type)])
+    return SharedTable(engine, schema, [key_out, val_out])
+
+
+def mpc_distinct(table: SharedTable, names: Sequence[str]) -> SharedTable:
+    """Distinct values of the named columns, via sort + adjacent comparison."""
+    projected = mpc_project(table, names)
+    if len(names) != 1:
+        raise ValueError("oblivious distinct currently supports a single column")
+    counted = mpc_aggregate(projected, names[0], None, "count", "__count")
+    return mpc_project(counted, [names[0]])
+
+
+def _mpc_scalar_aggregate(
+    table: SharedTable, agg_col: str | None, func: str, out_name: str
+) -> SharedTable:
+    """Aggregate the whole relation to a single row (no group-by)."""
+    engine = table.engine
+    n = table.num_rows
+    if func == "count":
+        result = engine.constant(np.array([n], dtype=np.int64))
+        out_type = ColumnType.INT
+    elif func == "sum":
+        col = table.column(agg_col)
+        total_shares = [
+            np.array([share.sum(dtype=np.uint64)], dtype=np.uint64) for share in col.shares
+        ]
+        result = SharedVector(engine, total_shares)
+        engine.meter.local_ops += n
+        out_type = table.schema[agg_col].ctype
+    else:
+        raise ValueError(f"unsupported scalar aggregation {func!r}")
+    schema = Schema([ColumnDef(out_name, out_type)])
+    return SharedTable(engine, schema, [result])
+
+
+# -- helpers -------------------------------------------------------------------------------
+
+
+def _gather_vector(engine: SecretSharingEngine, vec: SharedVector, idx: np.ndarray) -> SharedVector:
+    engine.meter.local_ops += len(idx)
+    return SharedVector(engine, [share[idx] for share in vec.shares])
+
+
+def _decode_column(table: SharedTable, name: str) -> np.ndarray:
+    """Reconstruct a column to float, honouring the fixed-point encoding."""
+    from repro.mpc.secretshare import AdditiveSharing
+
+    values = AdditiveSharing.reconstruct(table.column(name).shares).astype(np.float64)
+    if table.schema[name].ctype is ColumnType.FLOAT:
+        values = values / FIXED_POINT_SCALE
+    return values

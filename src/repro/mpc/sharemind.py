@@ -1,0 +1,159 @@
+"""Sharemind-style secret-sharing MPC backend.
+
+The real Conclave generates SecreC programs and submits them to a Sharemind
+installation of three computing parties.  This module provides the
+equivalent backend for the reproduction: a facade over the
+:class:`~repro.mpc.secretshare.SecretSharingEngine` and the oblivious
+relational protocols, exposing the uniform operator interface the compiler's
+code generator targets (ingest, concat, project, filter, join, aggregate,
+arithmetic, sort, distinct, limit, reveal) plus cost reporting.
+
+Every handle returned by the backend is a
+:class:`~repro.mpc.protocols.SharedTable`; data stays secret-shared between
+operators and is only reconstructed by ``reveal``/``reveal_to``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.mpc import protocols
+from repro.mpc.oblivious import oblivious_shuffle
+from repro.mpc.protocols import SharedTable
+from repro.mpc.runtime import CostMeter, SharemindCostModel
+from repro.mpc.secretshare import SecretSharingEngine, SharedVector
+
+
+class SharemindBackend:
+    """Three-party (by default) secret-sharing MPC backend."""
+
+    #: Maximum number of computing parties Sharemind supports in the paper's
+    #: deployment.
+    MAX_PARTIES = 3
+    name = "sharemind"
+    is_mpc = True
+
+    def __init__(
+        self,
+        party_names: Sequence[str],
+        seed: int | None = 0,
+        cost_model: SharemindCostModel | None = None,
+    ):
+        party_names = list(party_names)
+        if len(party_names) < 2:
+            raise ValueError("the Sharemind backend needs at least two computing parties")
+        if len(party_names) > self.MAX_PARTIES:
+            raise ValueError(
+                f"the Sharemind backend supports at most {self.MAX_PARTIES} computing parties"
+            )
+        self.party_names = party_names
+        self.engine = SecretSharingEngine(party_names, seed=seed)
+        self.cost_model = cost_model or SharemindCostModel()
+
+    # -- data movement -----------------------------------------------------------------
+
+    def ingest(self, table: Table, contributor: str | None = None) -> SharedTable:
+        """Secret-share a party's cleartext relation into the MPC."""
+        return SharedTable.from_table(self.engine, table, contributor=contributor)
+
+    def ingest_shared(self, shared: SharedTable) -> SharedTable:
+        """Accept an already-shared relation (e.g. produced by a hybrid step)."""
+        if shared.engine is not self.engine:
+            raise ValueError("shared relation belongs to a different MPC engine")
+        return shared
+
+    def reveal(self, handle: SharedTable) -> Table:
+        """Open a relation to all parties."""
+        return handle.reveal()
+
+    def reveal_to(self, handle: SharedTable, party: str) -> Table:
+        """Open a relation to a single (possibly external) party."""
+        return handle.reveal_to(party)
+
+    # -- relational operators -------------------------------------------------------------
+
+    def concat(self, handles: Sequence[SharedTable]) -> SharedTable:
+        return protocols.mpc_concat(list(handles))
+
+    def project(self, handle: SharedTable, columns: Sequence[str]) -> SharedTable:
+        return protocols.mpc_project(handle, columns)
+
+    def filter(self, handle: SharedTable, column: str, op: str, value: float) -> SharedTable:
+        return protocols.mpc_filter(handle, column, op, int(value))
+
+    def join(
+        self, left: SharedTable, right: SharedTable, left_on: str, right_on: str
+    ) -> SharedTable:
+        return protocols.mpc_join(left, right, left_on, right_on)
+
+    def aggregate(
+        self,
+        handle: SharedTable,
+        group_by: str | None,
+        agg_col: str | None,
+        func: str,
+        out_name: str,
+        presorted: bool = False,
+    ) -> SharedTable:
+        return protocols.mpc_aggregate(handle, group_by, agg_col, func, out_name, presorted)
+
+    def multiply(self, handle: SharedTable, out_name: str, left: str, right: str | float) -> SharedTable:
+        right_arg: str | int = right if isinstance(right, str) else int(right)
+        return protocols.mpc_multiply(handle, out_name, left, right_arg)
+
+    def divide(self, handle: SharedTable, out_name: str, left: str, right: str) -> SharedTable:
+        return protocols.mpc_divide(handle, out_name, left, right)
+
+    def sort_by(self, handle: SharedTable, column: str, ascending: bool = True) -> SharedTable:
+        return protocols.mpc_sort(handle, column, ascending=ascending)
+
+    def merge_sorted(
+        self, handles: Sequence[SharedTable], column: str, ascending: bool = True
+    ) -> SharedTable:
+        """Obliviously merge relations that are each sorted by ``column``.
+
+        Costs an O(n log n) bitonic merge instead of a full oblivious sort —
+        the primitive behind the sort push-up extension of §5.4.
+        """
+        return protocols.mpc_merge_sorted(list(handles), column, ascending=ascending)
+
+    def distinct(self, handle: SharedTable, columns: Sequence[str]) -> SharedTable:
+        return protocols.mpc_distinct(handle, columns)
+
+    def limit(self, handle: SharedTable, n: int) -> SharedTable:
+        """Keep the first ``n`` rows (used after an order-by)."""
+        columns = [
+            SharedVector(self.engine, [s[:n] for s in col.shares]) for col in handle.columns
+        ]
+        self.engine.meter.local_ops += min(n, handle.num_rows) * len(handle.columns)
+        return SharedTable(self.engine, handle.schema, columns)
+
+    def shuffle(self, handle: SharedTable) -> SharedTable:
+        """Obliviously shuffle a relation (used by the hybrid protocols)."""
+        columns = oblivious_shuffle(self.engine, handle.columns)
+        return SharedTable(self.engine, handle.schema, columns)
+
+    def enumerate_rows(self, handle: SharedTable, out_name: str = "row_id") -> SharedTable:
+        """Append a public 0..n-1 row-identifier column (local operation)."""
+        from repro.data.schema import ColumnDef, ColumnType
+
+        ids = self.engine.constant(np.arange(handle.num_rows, dtype=np.int64))
+        schema = handle.schema.with_column(ColumnDef(out_name, ColumnType.INT))
+        return SharedTable(self.engine, schema, [*handle.columns, ids])
+
+    # -- accounting -------------------------------------------------------------------------
+
+    @property
+    def meter(self) -> CostMeter:
+        return self.engine.meter
+
+    def elapsed_seconds(self) -> float:
+        """Simulated seconds of MPC work performed so far."""
+        return self.cost_model.seconds(self.engine.meter)
+
+    def reset_meter(self) -> None:
+        self.engine.meter.reset()
+        self.engine.network.reset_stats()

@@ -1,0 +1,24 @@
+"""Synthetic workload generators for the paper's experiments.
+
+The original evaluation uses data we cannot ship offline (six years of NYC
+taxi trip records, credit-bureau style SSN/score data, and the HealthLNK
+clinical data repository).  Each generator here produces seeded synthetic
+data with the statistics that matter for the corresponding experiment —
+company/fare skew and zero-fare rows for the taxi data, SSN join structure
+for the credit data, 2% patient-ID overlap and 10% distinct diagnoses for
+HealthLNK — so the benchmark harness exercises the same query plans on the
+same data shapes.
+"""
+
+from repro.workloads.generators import random_integers_table, uniform_key_value_table
+from repro.workloads.taxi import TaxiWorkload
+from repro.workloads.credit import CreditWorkload
+from repro.workloads.healthlnk import HealthLNKWorkload
+
+__all__ = [
+    "random_integers_table",
+    "uniform_key_value_table",
+    "TaxiWorkload",
+    "CreditWorkload",
+    "HealthLNKWorkload",
+]

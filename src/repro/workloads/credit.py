@@ -1,0 +1,74 @@
+"""Credit-card regulation workload (§2.1, §7.3).
+
+The regulator holds a demographics relation mapping social security numbers
+to ZIP codes; each credit reporting agency holds (SSN, credit score) rows
+for its card holders.  The query joins the two on SSN and averages scores by
+ZIP code.  The generator controls the statistics that drive the plan's cost:
+the number of card-holders per agency, how many of them appear in the
+regulator's demographics (join hit rate), and the number of ZIP codes
+(output cardinality of the grouped aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+DEMOGRAPHICS_SCHEMA = Schema(
+    [ColumnDef("ssn", ColumnType.INT), ColumnDef("zip", ColumnType.INT)]
+)
+SCORES_SCHEMA = Schema(
+    [ColumnDef("ssn", ColumnType.INT), ColumnDef("score", ColumnType.INT)]
+)
+
+
+@dataclass
+class CreditWorkload:
+    """Generator for the regulator's and the agencies' relations."""
+
+    num_zip_codes: int = 100
+    #: Fraction of an agency's card holders present in the demographics.
+    join_hit_rate: float = 1.0
+    min_score: int = 300
+    max_score: int = 850
+    seed: int = 7
+
+    def demographics(self, num_people: int) -> Table:
+        """The regulator's (ssn, zip) relation."""
+        rng = np.random.default_rng(self.seed)
+        ssns = np.arange(num_people, dtype=np.int64)
+        zips = rng.integers(0, self.num_zip_codes, size=num_people, dtype=np.int64)
+        return Table(DEMOGRAPHICS_SCHEMA, [ssns, zips])
+
+    def agency_scores(self, agency_index: int, num_rows: int, num_people: int) -> Table:
+        """One credit agency's (ssn, score) relation."""
+        rng = np.random.default_rng(self.seed + 1_000 * (agency_index + 1))
+        num_known = int(num_rows * self.join_hit_rate)
+        num_rows = min(num_rows, 2 * num_people) if num_people else num_rows
+        known = rng.choice(max(num_people, 1), size=min(num_known, num_people), replace=False)
+        unknown_count = num_rows - len(known)
+        unknown = rng.integers(num_people, num_people * 2 + 1, size=max(unknown_count, 0), dtype=np.int64)
+        ssns = np.concatenate([known.astype(np.int64), unknown])
+        scores = rng.integers(self.min_score, self.max_score + 1, size=len(ssns), dtype=np.int64)
+        return Table(SCORES_SCHEMA, [ssns, scores])
+
+    def generate(self, num_people: int, rows_per_agency: int, num_agencies: int = 2):
+        """Generate (demographics, [agency relations])."""
+        demo = self.demographics(num_people)
+        agencies = [
+            self.agency_scores(i, rows_per_agency, num_people) for i in range(num_agencies)
+        ]
+        return demo, agencies
+
+    def reference_average_scores(self, demographics: Table, agencies: list[Table]) -> Table:
+        """Cleartext average credit score by ZIP code (validation reference)."""
+        scores = agencies[0].concat(*agencies[1:]) if len(agencies) > 1 else agencies[0]
+        joined = demographics.join(scores, ["ssn"], ["ssn"])
+        totals = joined.aggregate(["zip"], "score", "sum", "total")
+        counts = joined.aggregate(["zip"], None, "count", "cnt")
+        merged = totals.join(counts, ["zip"], ["zip"])
+        return merged.arithmetic("avg_score", "total", "/", "cnt")

@@ -1,0 +1,59 @@
+"""Generic synthetic-relation generators.
+
+The microbenchmarks of Figure 1 feed "random integers" into single
+operators; these helpers produce such relations with controllable key
+cardinality so that join selectivity and group counts can be set to match
+an experiment's description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+
+def random_integers_table(
+    num_rows: int,
+    columns: list[str],
+    low: int = 0,
+    high: int = 1_000_000,
+    seed: int = 0,
+) -> Table:
+    """A relation of uniformly random integers (Figure 1's operator inputs)."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([ColumnDef(name, ColumnType.INT) for name in columns])
+    data = [rng.integers(low, high, size=num_rows, dtype=np.int64) for _ in columns]
+    return Table(schema, data)
+
+
+def uniform_key_value_table(
+    num_rows: int,
+    num_keys: int,
+    key_column: str = "key",
+    value_column: str = "value",
+    value_high: int = 1_000,
+    seed: int = 0,
+) -> Table:
+    """A (key, value) relation with keys drawn uniformly from ``num_keys`` ids.
+
+    Used by the hybrid-operator microbenchmarks (Figure 5): ``num_keys``
+    controls both join selectivity and the number of output groups.
+    """
+    if num_keys < 1:
+        raise ValueError("need at least one distinct key")
+    rng = np.random.default_rng(seed)
+    schema = Schema([ColumnDef(key_column, ColumnType.INT), ColumnDef(value_column, ColumnType.INT)])
+    keys = rng.integers(0, num_keys, size=num_rows, dtype=np.int64)
+    values = rng.integers(0, value_high, size=num_rows, dtype=np.int64)
+    return Table(schema, [keys, values])
+
+
+def split_across_parties(table: Table, num_parties: int, seed: int = 0) -> list[Table]:
+    """Randomly partition a relation's rows across ``num_parties`` parties."""
+    if num_parties < 1:
+        raise ValueError("need at least one party")
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, num_parties, size=table.num_rows)
+    return [table.select_rows(assignment == p) for p in range(num_parties)]

@@ -1,0 +1,121 @@
+"""HealthLNK-style clinical workload for the SMCQL comparison (§7.4).
+
+SMCQL's medical queries run over two hospitals' ``diagnoses`` and
+``medications`` relations drawn from the HealthLNK repository.  The paper's
+reproduction of those experiments states the statistics this generator
+reproduces:
+
+* patient identifiers are public (anonymised) and the two hospitals'
+  populations overlap by ~2% (aspirin count);
+* diagnosis codes are private; for comorbidity, the number of distinct
+  diagnosis codes is 10% of the number of input rows;
+* the aspirin-count query keeps patients with a heart-disease diagnosis
+  (ICD-9 414.x) and an aspirin prescription, so a configurable fraction of
+  rows carries the "interesting" codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+DIAGNOSES_SCHEMA = Schema(
+    [ColumnDef("patient_id", ColumnType.INT), ColumnDef("diagnosis", ColumnType.INT)]
+)
+MEDICATIONS_SCHEMA = Schema(
+    [ColumnDef("patient_id", ColumnType.INT), ColumnDef("medication", ColumnType.INT)]
+)
+
+#: Sentinel codes used by the aspirin-count query.
+HEART_DISEASE_CODE = 414
+ASPIRIN_CODE = 1191
+#: Diagnosis code whose comorbidities the comorbidity query studies.
+CDIFF_CODE = 8
+
+@dataclass
+class HealthLNKWorkload:
+    """Generator for two-hospital diagnoses/medications relations."""
+
+    #: Fraction of patient ids shared between the two hospitals.
+    patient_overlap: float = 0.02
+    #: Distinct diagnosis codes as a fraction of input rows (comorbidity).
+    distinct_diagnosis_fraction: float = 0.1
+    #: Fraction of diagnosis rows carrying the heart-disease code.
+    heart_disease_fraction: float = 0.2
+    #: Fraction of medication rows prescribing aspirin.
+    aspirin_fraction: float = 0.2
+    seed: int = 11
+
+    # -- aspirin count -------------------------------------------------------------------------
+
+    def hospital_patients(self, hospital: int, num_patients: int) -> np.ndarray:
+        """Patient-id universe for one hospital with the configured overlap."""
+        rng = np.random.default_rng(self.seed)
+        shared_count = max(1, int(num_patients * self.patient_overlap))
+        shared = np.arange(shared_count, dtype=np.int64)
+        offset = shared_count + hospital * num_patients
+        own = np.arange(offset, offset + num_patients - shared_count, dtype=np.int64)
+        patients = np.concatenate([shared, own])
+        rng.shuffle(patients)
+        return patients
+
+    def diagnoses(self, hospital: int, num_rows: int) -> Table:
+        """One hospital's diagnoses relation (patient_id, diagnosis)."""
+        rng = np.random.default_rng(self.seed + 100 + hospital)
+        patients = self.hospital_patients(hospital, max(num_rows, 1))
+        patient_ids = rng.choice(patients, size=num_rows)
+        num_codes = max(2, int(num_rows * self.distinct_diagnosis_fraction))
+        codes = rng.integers(0, num_codes, size=num_rows, dtype=np.int64) + 1000
+        heart = rng.random(num_rows) < self.heart_disease_fraction
+        codes[heart] = HEART_DISEASE_CODE
+        return Table(DIAGNOSES_SCHEMA, [patient_ids.astype(np.int64), codes])
+
+    def medications(self, hospital: int, num_rows: int) -> Table:
+        """One hospital's medications relation (patient_id, medication)."""
+        rng = np.random.default_rng(self.seed + 200 + hospital)
+        patients = self.hospital_patients(hospital, max(num_rows, 1))
+        patient_ids = rng.choice(patients, size=num_rows)
+        meds = rng.integers(2000, 3000, size=num_rows, dtype=np.int64)
+        aspirin = rng.random(num_rows) < self.aspirin_fraction
+        meds[aspirin] = ASPIRIN_CODE
+        return Table(MEDICATIONS_SCHEMA, [patient_ids.astype(np.int64), meds])
+
+    def aspirin_count_inputs(self, rows_per_party: int):
+        """(diagnoses, medications) per hospital for the aspirin-count query."""
+        return (
+            [self.diagnoses(0, rows_per_party), self.diagnoses(1, rows_per_party)],
+            [self.medications(0, rows_per_party), self.medications(1, rows_per_party)],
+        )
+
+    def reference_aspirin_count(self, diagnoses: list[Table], medications: list[Table]) -> int:
+        """Cleartext aspirin count: distinct heart-disease patients on aspirin."""
+        diag = diagnoses[0].concat(*diagnoses[1:])
+        meds = medications[0].concat(*medications[1:])
+        heart = diag.filter("diagnosis", "==", HEART_DISEASE_CODE)
+        aspirin = meds.filter("medication", "==", ASPIRIN_CODE)
+        joined = heart.join(aspirin, ["patient_id"], ["patient_id"])
+        return joined.distinct(["patient_id"]).num_rows
+
+    # -- comorbidity ---------------------------------------------------------------------------
+
+    def comorbidity_diagnoses(self, hospital: int, num_rows: int) -> Table:
+        """Diagnoses of the c. diff cohort for the comorbidity query."""
+        rng = np.random.default_rng(self.seed + 300 + hospital)
+        patients = self.hospital_patients(hospital, max(num_rows, 1))
+        patient_ids = rng.choice(patients, size=num_rows)
+        num_codes = max(2, int(num_rows * self.distinct_diagnosis_fraction))
+        codes = rng.integers(0, num_codes, size=num_rows, dtype=np.int64)
+        return Table(DIAGNOSES_SCHEMA, [patient_ids.astype(np.int64), codes])
+
+    def comorbidity_inputs(self, rows_per_party: int) -> list[Table]:
+        return [self.comorbidity_diagnoses(0, rows_per_party), self.comorbidity_diagnoses(1, rows_per_party)]
+
+    def reference_comorbidity(self, diagnoses: list[Table], top_k: int = 10) -> Table:
+        """Cleartext comorbidity result: the ``top_k`` most frequent diagnoses."""
+        combined = diagnoses[0].concat(*diagnoses[1:])
+        counts = combined.aggregate(["diagnosis"], None, "count", "cnt")
+        return counts.sort_by(["cnt"], ascending=False).limit(top_k)

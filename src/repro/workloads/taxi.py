@@ -1,0 +1,82 @@
+"""NYC-taxi-style workload for the market concentration (HHI) query (§7.1).
+
+The paper models the sales books of three imaginary vehicle-for-hire
+companies with six years of public NYC taxi fare data: ~1.3 billion trips
+randomly divided across the companies, with zero-fare trips filtered out by
+the query.  This generator reproduces the relevant statistics:
+
+* each trip carries a company identifier and an integer fare (cents);
+* company market shares are skewed (configurable), because a perfectly
+  uniform split would make the HHI degenerate;
+* a configurable fraction of trips has a zero fare, so the query's filter
+  has work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+TRIP_SCHEMA = Schema(
+    [
+        ColumnDef("companyID", ColumnType.INT),
+        ColumnDef("price", ColumnType.INT),
+    ]
+)
+
+
+@dataclass
+class TaxiWorkload:
+    """Generator for per-party trip relations.
+
+    Parameters
+    ----------
+    num_companies:
+        Number of vehicle-for-hire companies appearing in the data.
+    zero_fare_fraction:
+        Fraction of trips with a zero fare (filtered out by the query).
+    share_skew:
+        Dirichlet concentration controlling how uneven company market
+        shares are; smaller values give more skew.
+    """
+
+    num_companies: int = 3
+    zero_fare_fraction: float = 0.02
+    share_skew: float = 1.0
+    max_fare_cents: int = 10_000
+    seed: int = 42
+
+    def company_shares(self) -> np.ndarray:
+        """The underlying market-share distribution across companies."""
+        rng = np.random.default_rng(self.seed)
+        return rng.dirichlet(np.full(self.num_companies, self.share_skew))
+
+    def party_table(self, party_index: int, num_rows: int) -> Table:
+        """Generate one party's trip relation with ``num_rows`` trips."""
+        rng = np.random.default_rng(self.seed + 1_000 * (party_index + 1))
+        shares = self.company_shares()
+        companies = rng.choice(self.num_companies, size=num_rows, p=shares).astype(np.int64)
+        fares = rng.integers(1, self.max_fare_cents, size=num_rows, dtype=np.int64)
+        zero_mask = rng.random(num_rows) < self.zero_fare_fraction
+        fares[zero_mask] = 0
+        return Table(TRIP_SCHEMA, [companies, fares])
+
+    def party_tables(self, num_parties: int, rows_per_party: int) -> list[Table]:
+        """Generate the relations held by each of ``num_parties`` companies."""
+        return [self.party_table(i, rows_per_party) for i in range(num_parties)]
+
+    def reference_hhi(self, tables: list[Table]) -> float:
+        """Cleartext HHI over the generated data (for validating query output)."""
+        combined = tables[0].concat(*tables[1:]) if len(tables) > 1 else tables[0]
+        nonzero = combined.filter("price", ">", 0)
+        revenue = nonzero.aggregate(["companyID"], "price", "sum", "revenue")
+        values = revenue.column("revenue").astype(np.float64)
+        total = values.sum()
+        if total == 0:
+            return 0.0
+        shares = values / total
+        return float((shares**2).sum())

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+from repro.mpc.secretshare import SecretSharingEngine
+
+PARTIES = ["alpha.example", "beta.example", "gamma.example"]
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    """A simple (key, value) integer schema."""
+    return Schema([ColumnDef("key"), ColumnDef("value")])
+
+
+@pytest.fixture
+def kv_table(kv_schema) -> Table:
+    """A small (key, value) table with duplicate keys."""
+    return Table.from_rows(
+        kv_schema,
+        [(1, 10), (2, 20), (1, 30), (3, 40), (2, 50), (4, 60)],
+    )
+
+
+@pytest.fixture
+def other_kv_table(kv_schema) -> Table:
+    """A second (key, value) table for join tests."""
+    return Table.from_rows(kv_schema, [(1, 100), (2, 200), (5, 500)])
+
+
+@pytest.fixture
+def engine() -> SecretSharingEngine:
+    """A three-party secret-sharing engine with a fixed seed."""
+    return SecretSharingEngine(PARTIES, seed=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+def make_table(columns: dict[str, list[int]], float_cols: set[str] | None = None) -> Table:
+    """Helper for building small tables inline in tests."""
+    float_cols = float_cols or set()
+    defs = [
+        ColumnDef(name, ColumnType.FLOAT if name in float_cols else ColumnType.INT)
+        for name in columns
+    ]
+    return Table(Schema(defs), [np.asarray(v) for v in columns.values()])

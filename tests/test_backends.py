@@ -1,0 +1,194 @@
+"""Tests for the MPC backend facades (Sharemind-style and Obliv-C-style)."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.mpc.garbled import CircuitMemoryError, OblivCBackend
+from repro.mpc.runtime import GarbledCostModel, SharemindCostModel
+from repro.mpc.sharemind import SharemindBackend
+from repro.workloads.generators import uniform_key_value_table
+from tests.conftest import PARTIES
+
+
+class TestSharemindBackend:
+    def setup_method(self):
+        self.backend = SharemindBackend(PARTIES, seed=3)
+        self.table = uniform_key_value_table(12, 4, seed=1)
+        self.other = uniform_key_value_table(8, 4, seed=2)
+
+    def test_party_count_limits(self):
+        with pytest.raises(ValueError):
+            SharemindBackend(["only-one"])
+        with pytest.raises(ValueError):
+            SharemindBackend(["a", "b", "c", "d"])
+        assert SharemindBackend(["a", "b"]).engine.num_parties == 2
+
+    def test_ingest_reveal_roundtrip(self):
+        handle = self.backend.ingest(self.table, contributor=PARTIES[0])
+        assert self.backend.reveal(handle) == self.table
+
+    def test_operator_results_match_cleartext(self):
+        h = self.backend.ingest(self.table)
+        o = self.backend.ingest(self.other)
+        assert self.backend.project(h, ["value"]).reveal() == self.table.project(["value"])
+        assert self.backend.filter(h, "value", ">", 500).reveal().equals_unordered(
+            self.table.filter("value", ">", 500)
+        )
+        assert self.backend.join(h, o, "key", "key").reveal().equals_unordered(
+            self.table.join(self.other, ["key"], ["key"])
+        )
+        assert self.backend.aggregate(h, "key", "value", "sum", "t").reveal().equals_unordered(
+            self.table.aggregate(["key"], "value", "sum", "t")
+        )
+        assert self.backend.concat([h, o]).reveal().equals_unordered(
+            self.table.concat(self.other)
+        )
+        assert self.backend.sort_by(h, "value").reveal() == self.table.sort_by(["value"])
+        assert self.backend.limit(h, 3).num_rows == 3
+        assert sorted(
+            self.backend.distinct(h, ["key"]).reveal().column("key").tolist()
+        ) == sorted(self.table.distinct(["key"]).column("key").tolist())
+
+    def test_multiply_and_divide(self):
+        h = self.backend.ingest(self.table)
+        doubled = self.backend.multiply(h, "d", "value", 2)
+        assert doubled.reveal().column("d").tolist() == (self.table.column("value") * 2).tolist()
+        ratio = self.backend.divide(h, "r", "value", "key")
+        expected = self.table.arithmetic("r", "value", "/", "key").column("r")
+        assert np.allclose(ratio.reveal().column("r"), expected, atol=1e-4)
+
+    def test_enumerate_rows(self):
+        h = self.backend.ingest(self.table)
+        enumerated = self.backend.enumerate_rows(h, "rid")
+        assert enumerated.reveal().column("rid").tolist() == list(range(self.table.num_rows))
+
+    def test_shuffle_preserves_rows(self):
+        h = self.backend.ingest(self.table)
+        assert self.backend.shuffle(h).reveal().equals_unordered(self.table)
+
+    def test_elapsed_seconds_grows_with_work(self):
+        baseline = self.backend.elapsed_seconds()
+        h = self.backend.ingest(self.table)
+        o = self.backend.ingest(self.other)
+        after_ingest = self.backend.elapsed_seconds()
+        self.backend.join(h, o, "key", "key")
+        after_join = self.backend.elapsed_seconds()
+        assert baseline < after_ingest < after_join
+
+    def test_reset_meter(self):
+        self.backend.ingest(self.table)
+        self.backend.reset_meter()
+        assert self.backend.meter.input_records == 0
+
+    def test_ingest_shared_rejects_foreign_engine(self):
+        other_backend = SharemindBackend(["x", "y"], seed=0)
+        handle = other_backend.ingest(self.table)
+        with pytest.raises(ValueError):
+            self.backend.ingest_shared(handle)
+
+    def test_cost_model_fields_drive_time(self):
+        fast = SharemindBackend(PARTIES, cost_model=SharemindCostModel(per_comparison_seconds=1e-9))
+        slow = SharemindBackend(PARTIES, cost_model=SharemindCostModel(per_comparison_seconds=1e-2))
+        for backend in (fast, slow):
+            h = backend.ingest(self.table)
+            o = backend.ingest(self.other)
+            backend.join(h, o, "key", "key")
+        assert slow.elapsed_seconds() > fast.elapsed_seconds()
+
+
+class TestOblivCBackend:
+    def setup_method(self):
+        self.backend = OblivCBackend(["p1", "p2"])
+        self.table = uniform_key_value_table(10, 3, seed=4)
+        self.other = uniform_key_value_table(6, 3, seed=5)
+
+    def test_two_parties_required(self):
+        with pytest.raises(ValueError):
+            OblivCBackend(["a"])
+        with pytest.raises(ValueError):
+            OblivCBackend(["a", "b", "c"])
+
+    def test_results_match_cleartext(self):
+        h = self.backend.ingest(self.table)
+        o = self.backend.ingest(self.other)
+        assert self.backend.reveal(self.backend.project(h, ["key"])) == self.table.project(["key"])
+        assert self.backend.reveal(self.backend.join(h, o, "key", "key")).equals_unordered(
+            self.table.join(self.other, ["key"], ["key"])
+        )
+        assert self.backend.reveal(
+            self.backend.aggregate(h, "key", "value", "sum", "t")
+        ).equals_unordered(self.table.aggregate(["key"], "value", "sum", "t"))
+        assert self.backend.reveal(self.backend.filter(h, "value", ">", 500)).equals_unordered(
+            self.table.filter("value", ">", 500)
+        )
+        assert self.backend.reveal(self.backend.limit(h, 2)).num_rows == 2
+
+    def test_gate_and_input_accounting(self):
+        h = self.backend.ingest(self.table)
+        assert self.backend.total_input_bits == self.table.num_rows * 2 * 64
+        before = self.backend.total_gates
+        o = self.backend.ingest(self.other)
+        self.backend.join(h, o, "key", "key")
+        assert self.backend.total_gates > before
+
+    def test_elapsed_seconds_scale_with_gates(self):
+        h = self.backend.ingest(self.table)
+        t0 = self.backend.elapsed_seconds()
+        self.backend.multiply(h, "m", "value", 3)
+        assert self.backend.elapsed_seconds() > t0
+
+    def test_join_exhausts_memory_on_large_inputs(self):
+        # Large enough to ingest both relations, too small for the quadratic
+        # join state — mirroring the Figure 1b Obliv-C OOM behaviour.
+        limit = GarbledCostModel(memory_limit_bytes=80 * 1024 * 1024)
+        backend = OblivCBackend(["p1", "p2"], cost_model=limit)
+        big = uniform_key_value_table(2000, 10, seed=6)
+        left = backend.ingest(big)
+        right = backend.ingest(big)
+        with pytest.raises(CircuitMemoryError) as err:
+            backend.join(left, right, "key", "key")
+        assert err.value.operator == "join"
+        assert err.value.required_bytes > limit.memory_limit_bytes
+
+    def test_project_memory_grows_with_input(self):
+        backend = OblivCBackend(["p1", "p2"])
+        h = backend.ingest(uniform_key_value_table(100, 3, seed=7))
+        backend.project(h, ["key"])
+        small_peak = backend.peak_memory_bytes
+        backend2 = OblivCBackend(["p1", "p2"])
+        h2 = backend2.ingest(uniform_key_value_table(1000, 3, seed=7))
+        backend2.project(h2, ["key"])
+        assert backend2.peak_memory_bytes > small_peak
+
+    def test_reset_meter(self):
+        self.backend.ingest(self.table)
+        self.backend.reset_meter()
+        assert self.backend.total_gates == 0
+        assert self.backend.total_input_bits == 0
+
+
+class TestCostModels:
+    def test_sharemind_cost_model_components(self):
+        model = SharemindCostModel()
+        from repro.mpc.runtime import CostMeter
+
+        meter = CostMeter(comparisons=1000)
+        base = model.seconds(CostMeter())
+        assert model.seconds(meter) == pytest.approx(base + 1000 * model.per_comparison_seconds)
+
+    def test_garbled_cost_model_memory(self):
+        model = GarbledCostModel()
+        assert model.memory_bytes(live_wires=10, buffered_gates=5) == 10 * 16 + 5 * 32
+
+    def test_simulated_clock(self):
+        from repro.mpc.runtime import SimulatedClock
+
+        clock = SimulatedClock()
+        clock.advance(2.0)
+        clock.advance_parallel([1.0, 5.0, 3.0])
+        assert clock.elapsed_seconds == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        clock.reset()
+        assert clock.elapsed_seconds == 0.0

@@ -1,0 +1,202 @@
+"""Tests for the cleartext backends (sequential Python and the Spark simulator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleartext.python_engine import PythonBackend
+from repro.cleartext.spark_sim import PartitionedRelation, SparkBackend, SparkCostModel
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+from repro.workloads.generators import uniform_key_value_table
+
+
+@pytest.fixture(params=["python", "spark"])
+def backend(request):
+    if request.param == "python":
+        return PythonBackend()
+    return SparkBackend(default_partitions=4)
+
+
+class TestEngineEquivalence:
+    """Both engines must produce exactly the Table-reference results."""
+
+    def setup_method(self):
+        self.table = uniform_key_value_table(50, 5, seed=1)
+        self.other = uniform_key_value_table(30, 5, seed=2)
+
+    def test_project(self, backend):
+        h = backend.ingest(self.table)
+        assert backend.collect(backend.project(h, ["value"])).equals_unordered(
+            self.table.project(["value"])
+        )
+
+    def test_filter(self, backend):
+        h = backend.ingest(self.table)
+        assert backend.collect(backend.filter(h, "value", ">", 500)).equals_unordered(
+            self.table.filter("value", ">", 500)
+        )
+
+    def test_join(self, backend):
+        h, o = backend.ingest(self.table), backend.ingest(self.other)
+        assert backend.collect(backend.join(h, o, "key", "key")).equals_unordered(
+            self.table.join(self.other, ["key"], ["key"])
+        )
+
+    def test_grouped_aggregate(self, backend):
+        h = backend.ingest(self.table)
+        assert backend.collect(
+            backend.aggregate(h, "key", "value", "sum", "total")
+        ).equals_unordered(self.table.aggregate(["key"], "value", "sum", "total"))
+
+    def test_grouped_count(self, backend):
+        h = backend.ingest(self.table)
+        assert backend.collect(
+            backend.aggregate(h, "key", None, "count", "cnt")
+        ).equals_unordered(self.table.aggregate(["key"], None, "count", "cnt"))
+
+    def test_scalar_aggregate(self, backend):
+        h = backend.ingest(self.table)
+        assert backend.collect(backend.aggregate(h, None, "value", "sum", "s")).rows() == [
+            (self.table.column("value").sum(),)
+        ]
+
+    def test_concat(self, backend):
+        h, o = backend.ingest(self.table), backend.ingest(self.other)
+        assert backend.collect(backend.concat([h, o])).equals_unordered(
+            self.table.concat(self.other)
+        )
+
+    def test_sort_and_limit(self, backend):
+        h = backend.ingest(self.table)
+        top = backend.collect(backend.limit(backend.sort_by(h, "value", ascending=False), 5))
+        expected = self.table.sort_by(["value"], ascending=False).limit(5)
+        assert top == expected
+
+    def test_distinct(self, backend):
+        h = backend.ingest(self.table)
+        got = backend.collect(backend.distinct(h, ["key"]))
+        assert sorted(got.column("key").tolist()) == sorted(
+            self.table.distinct(["key"]).column("key").tolist()
+        )
+
+    def test_arithmetic(self, backend):
+        # Engines may reorder rows (partitioning), so compare whole rows as
+        # multisets against the reference computation.
+        h = backend.ingest(self.table)
+        doubled = backend.collect(backend.multiply(h, "d", "value", 2))
+        assert doubled.equals_unordered(self.table.arithmetic("d", "value", "*", 2))
+        ratio = backend.collect(backend.divide(h, "r", "value", "key"))
+        expected = self.table.arithmetic("r", "value", "/", "key")
+        assert sorted(np.round(ratio.column("r"), 6).tolist()) == sorted(
+            np.round(expected.column("r"), 6).tolist()
+        )
+
+    def test_enumerate_rows_unique_and_contiguous(self, backend):
+        h = backend.ingest(self.table)
+        ids = sorted(backend.collect(backend.enumerate_rows(h, "rid")).column("rid").tolist())
+        assert ids == list(range(self.table.num_rows))
+
+
+class TestSparkSpecifics:
+    def test_ingest_partitions_data(self):
+        backend = SparkBackend(default_partitions=4)
+        handle = backend.ingest(uniform_key_value_table(20, 3, seed=3))
+        assert handle.num_partitions == 4
+        assert handle.num_rows == 20
+
+    def test_small_tables_do_not_create_empty_partitions(self):
+        backend = SparkBackend(default_partitions=8)
+        handle = backend.ingest(uniform_key_value_table(3, 3, seed=3))
+        assert handle.num_partitions == 3
+
+    def test_hash_shuffle_groups_keys_into_same_partition(self):
+        backend = SparkBackend(default_partitions=4)
+        handle = backend.ingest(uniform_key_value_table(40, 6, seed=4))
+        aggregated = backend.aggregate(handle, "key", "value", "sum", "t")
+        seen: dict[int, int] = {}
+        for p_index, part in enumerate(aggregated.partitions):
+            for key in part.column("key").tolist():
+                assert key not in seen, "a key appeared in two partitions after the shuffle"
+                seen[key] = p_index
+
+    def test_stats_accumulate_jobs_stages_tasks(self):
+        backend = SparkBackend(default_partitions=2)
+        h = backend.ingest(uniform_key_value_table(10, 3, seed=5))
+        backend.project(h, ["key"])
+        assert backend.stats.jobs == 1
+        assert backend.stats.stages >= 2
+        assert backend.stats.tasks >= 2
+
+    def test_shuffle_volume_counted_for_wide_ops(self):
+        backend = SparkBackend(default_partitions=2)
+        h = backend.ingest(uniform_key_value_table(10, 3, seed=6))
+        before = backend.stats.records_shuffled
+        backend.aggregate(h, "key", "value", "sum", "t")
+        assert backend.stats.records_shuffled > before
+
+    def test_cost_model_parallelism(self):
+        stats_heavy = SparkBackend(cost_model=SparkCostModel(total_cores=1))
+        stats_light = SparkBackend(cost_model=SparkCostModel(total_cores=32))
+        table = uniform_key_value_table(5000, 5, seed=7)
+        for backend in (stats_heavy, stats_light):
+            h = backend.ingest(table)
+            backend.aggregate(h, "key", "value", "sum", "t")
+        assert stats_heavy.elapsed_seconds() > stats_light.elapsed_seconds()
+
+    def test_empty_relation_handling(self):
+        backend = SparkBackend()
+        schema = Schema([ColumnDef("key"), ColumnDef("value")])
+        handle = backend.ingest(Table.empty(schema))
+        assert backend.collect(backend.filter(handle, "key", ">", 0)).num_rows == 0
+        assert backend.collect(backend.aggregate(handle, "key", "value", "sum", "t")).num_rows == 0
+
+    def test_collect_of_empty_partitioned_relation(self):
+        schema = Schema([ColumnDef("key")])
+        relation = PartitionedRelation(schema, [Table.empty(schema)])
+        assert relation.collect().num_rows == 0
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ValueError):
+            SparkBackend(default_partitions=0)
+
+    def test_reset_meter(self):
+        backend = SparkBackend()
+        backend.ingest(uniform_key_value_table(10, 3, seed=8))
+        backend.reset_meter()
+        assert backend.stats.jobs == 0
+        assert backend.elapsed_seconds() == pytest.approx(0.0)
+
+
+class TestPythonSpecifics:
+    def test_elapsed_zero_before_any_work(self):
+        assert PythonBackend().elapsed_seconds() == 0.0
+
+    def test_elapsed_grows_with_records(self):
+        backend = PythonBackend()
+        h = backend.ingest(uniform_key_value_table(1000, 3, seed=9))
+        backend.project(h, ["key"])
+        small = backend.elapsed_seconds()
+        backend.project(h, ["key"])
+        assert backend.elapsed_seconds() > small
+
+    def test_reset_meter(self):
+        backend = PythonBackend()
+        h = backend.ingest(uniform_key_value_table(10, 3, seed=10))
+        backend.project(h, ["key"])
+        backend.reset_meter()
+        assert backend.elapsed_seconds() == 0.0
+
+
+@given(
+    rows=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 50)), min_size=1, max_size=30),
+    partitions=st.integers(1, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_spark_aggregation_equals_reference_property(rows, partitions):
+    schema = Schema([ColumnDef("key"), ColumnDef("value")])
+    table = Table.from_rows(schema, rows)
+    backend = SparkBackend(default_partitions=partitions)
+    result = backend.collect(backend.aggregate(backend.ingest(table), "key", "value", "sum", "t"))
+    assert result.equals_unordered(table.aggregate(["key"], "value", "sum", "t"))

@@ -1,0 +1,55 @@
+"""Tests for CSV input/output."""
+
+import pytest
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+
+def test_roundtrip_int_table(tmp_path, kv_table):
+    path = write_csv(kv_table, tmp_path / "kv.csv")
+    loaded = read_csv(path)
+    assert loaded == kv_table
+
+
+def test_roundtrip_with_explicit_schema(tmp_path, kv_table):
+    path = write_csv(kv_table, tmp_path / "kv.csv")
+    loaded = read_csv(path, schema=kv_table.schema)
+    assert loaded == kv_table
+
+
+def test_float_columns_inferred(tmp_path):
+    schema = Schema([ColumnDef("a", ColumnType.INT), ColumnDef("b", ColumnType.FLOAT)])
+    table = Table.from_rows(schema, [(1, 1.5), (2, 2.25)])
+    path = write_csv(table, tmp_path / "f.csv")
+    loaded = read_csv(path)
+    assert loaded.schema["b"].ctype is ColumnType.FLOAT
+    assert loaded.column("b").tolist() == [1.5, 2.25]
+
+
+def test_header_mismatch_rejected(tmp_path, kv_table):
+    path = write_csv(kv_table, tmp_path / "kv.csv")
+    wrong = Schema([ColumnDef("x"), ColumnDef("y")])
+    with pytest.raises(ValueError, match="does not match"):
+        read_csv(path, schema=wrong)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_csv(path)
+
+
+def test_empty_table_roundtrip(tmp_path, kv_schema):
+    table = Table.empty(kv_schema)
+    path = write_csv(table, tmp_path / "empty_table.csv")
+    loaded = read_csv(path, schema=kv_schema)
+    assert loaded.num_rows == 0
+    assert loaded.schema.names == ["key", "value"]
+
+
+def test_write_creates_parent_directories(tmp_path, kv_table):
+    path = write_csv(kv_table, tmp_path / "deep" / "nested" / "kv.csv")
+    assert path.exists()

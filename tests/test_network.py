@@ -1,0 +1,100 @@
+"""Tests for the simulated party-to-party network."""
+
+import pytest
+
+from repro.mpc.network import Network, NetworkStats
+
+
+@pytest.fixture
+def net():
+    return Network(["a", "b", "c"])
+
+
+def test_send_and_recv(net):
+    net.send("a", "b", {"x": 1}, size_bytes=16)
+    assert net.recv("b") == {"x": 1}
+
+
+def test_recv_filtered_by_sender(net):
+    net.send("a", "c", "from-a", 8)
+    net.send("b", "c", "from-b", 8)
+    assert net.recv("c", sender="b") == "from-b"
+    assert net.recv("c", sender="a") == "from-a"
+
+
+def test_recv_without_pending_message_raises(net):
+    with pytest.raises(LookupError):
+        net.recv("a")
+
+
+def test_self_send_rejected(net):
+    with pytest.raises(ValueError):
+        net.send("a", "a", "loop", 1)
+
+
+def test_unknown_party_rejected(net):
+    with pytest.raises(KeyError):
+        net.send("a", "zzz", "x", 1)
+    with pytest.raises(KeyError):
+        net.recv("zzz")
+
+
+def test_duplicate_party_names_rejected():
+    with pytest.raises(ValueError):
+        Network(["a", "a"])
+
+
+def test_stats_count_messages_and_bytes(net):
+    net.send("a", "b", "m1", 100)
+    net.send("a", "c", "m2", 50)
+    assert net.stats.messages == 2
+    assert net.stats.bytes_sent == 150
+
+
+def test_barrier_counts_rounds_only_when_traffic_happened(net):
+    net.barrier()
+    assert net.stats.rounds == 0
+    net.send("a", "b", "x", 1)
+    net.send("b", "c", "y", 1)
+    net.barrier()
+    assert net.stats.rounds == 1
+    net.barrier()
+    assert net.stats.rounds == 1
+
+
+def test_broadcast_reaches_all_other_parties(net):
+    net.broadcast("a", "hello", 10)
+    assert net.pending("b") == 1
+    assert net.pending("c") == 1
+    assert net.pending("a") == 0
+    assert net.stats.bytes_sent == 20
+
+
+def test_account_rounds_analytical(net):
+    net.account_rounds(3, 1000, messages_per_round=2)
+    assert net.stats.rounds == 3
+    assert net.stats.messages == 6
+    assert net.stats.bytes_sent == 3000
+
+
+def test_account_rounds_rejects_negative(net):
+    with pytest.raises(ValueError):
+        net.account_rounds(-1, 10)
+
+
+def test_reset_stats(net):
+    net.send("a", "b", "x", 1)
+    net.barrier()
+    net.reset_stats()
+    assert net.stats.messages == 0
+    assert net.stats.rounds == 0
+    assert net.stats.bytes_sent == 0
+
+
+def test_stats_merge_and_copy():
+    a = NetworkStats(messages=1, bytes_sent=10, rounds=2)
+    b = NetworkStats(messages=2, bytes_sent=5, rounds=1)
+    c = a.copy()
+    a.merge(b)
+    assert (a.messages, a.bytes_sent, a.rounds) == (3, 15, 3)
+    assert (c.messages, c.bytes_sent, c.rounds) == (1, 10, 2)

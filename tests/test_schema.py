@@ -1,0 +1,99 @@
+"""Unit tests for schemas and column definitions."""
+
+import pytest
+
+from repro.data.schema import ColumnDef, ColumnType, PUBLIC, Schema, make_schema
+
+
+class TestColumnDef:
+    def test_default_type_is_int(self):
+        col = ColumnDef("a")
+        assert col.ctype is ColumnType.INT
+
+    def test_trust_is_normalised_to_frozenset(self):
+        col = ColumnDef("a", ColumnType.INT, {"p1", "p2"})
+        assert isinstance(col.trust, frozenset)
+        assert col.trust == {"p1", "p2"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnDef("")
+
+    def test_public_flag(self):
+        assert ColumnDef("a", trust=frozenset({PUBLIC})).is_public
+        assert not ColumnDef("a", trust=frozenset({"p1"})).is_public
+
+    def test_with_trust_returns_new_column(self):
+        col = ColumnDef("a")
+        updated = col.with_trust({"p1"})
+        assert updated.trust == {"p1"}
+        assert col.trust == frozenset()
+
+    def test_renamed_preserves_type_and_trust(self):
+        col = ColumnDef("a", ColumnType.FLOAT, frozenset({"p1"}))
+        renamed = col.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.ctype is ColumnType.FLOAT
+        assert renamed.trust == {"p1"}
+
+    def test_python_type(self):
+        assert ColumnType.INT.python_type() is int
+        assert ColumnType.FLOAT.python_type() is float
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([ColumnDef("a"), ColumnDef("a")])
+
+    def test_lookup_by_name_and_index(self):
+        schema = make_schema("a", "b", "c")
+        assert schema["b"].name == "b"
+        assert schema[2].name == "c"
+        assert schema.index_of("c") == 2
+
+    def test_index_of_missing_column_raises(self):
+        schema = make_schema("a")
+        with pytest.raises(KeyError, match="no column named"):
+            schema.index_of("zzz")
+
+    def test_contains_and_len_and_iter(self):
+        schema = make_schema("a", "b")
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]
+
+    def test_resolve_accepts_indices_and_names(self):
+        schema = make_schema("a", "b")
+        assert schema.resolve(0) == "a"
+        assert schema.resolve("b") == "b"
+
+    def test_project_reorders(self):
+        schema = make_schema("a", "b", "c")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ["c", "a"]
+
+    def test_rename(self):
+        schema = make_schema("a", "b")
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+
+    def test_with_column_and_drop(self):
+        schema = make_schema("a")
+        extended = schema.with_column(ColumnDef("b", ColumnType.FLOAT))
+        assert extended.names == ["a", "b"]
+        assert extended.drop(["a"]).names == ["b"]
+
+    def test_concat_compatible(self):
+        a = make_schema("a", "b")
+        b = make_schema("a", "b")
+        c = make_schema("a", ("b", ColumnType.FLOAT))
+        d = make_schema("a")
+        assert a.concat_compatible(b)
+        assert not a.concat_compatible(c)
+        assert not a.concat_compatible(d)
+
+    def test_equality_and_hash(self):
+        assert make_schema("a", "b") == make_schema("a", "b")
+        assert hash(make_schema("a")) == hash(make_schema("a"))
+        assert make_schema("a") != make_schema("b")

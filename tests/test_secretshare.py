@@ -1,0 +1,164 @@
+"""Unit and property-based tests for additive secret sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.secretshare import (
+    AdditiveSharing,
+    SecretSharingEngine,
+    TripleDealer,
+)
+
+int64s = st.integers(min_value=-(2**62), max_value=2**62 - 1)
+
+
+class TestAdditiveSharing:
+    def test_shares_reconstruct(self, rng):
+        values = np.array([0, 1, -5, 2**40, -(2**40)], dtype=np.int64)
+        shares = AdditiveSharing.share(values, 3, rng)
+        assert len(shares) == 3
+        assert np.array_equal(AdditiveSharing.reconstruct(shares), values)
+
+    def test_individual_shares_look_random(self, rng):
+        values = np.zeros(1000, dtype=np.int64)
+        shares = AdditiveSharing.share(values, 3, rng)
+        # A share of all-zeros should not itself be all zeros.
+        assert np.any(shares[0] != 0)
+        assert np.any(shares[1] != 0)
+
+    def test_two_party_minimum(self, rng):
+        with pytest.raises(ValueError):
+            AdditiveSharing.share(np.array([1]), 1, rng)
+
+    def test_reconstruct_empty_share_list_rejected(self):
+        with pytest.raises(ValueError):
+            AdditiveSharing.reconstruct([])
+
+    @given(values=st.lists(int64s, min_size=1, max_size=50), parties=st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_share_reconstruct_roundtrip_property(self, values, parties):
+        rng = np.random.default_rng(0)
+        arr = np.array(values, dtype=np.int64)
+        shares = AdditiveSharing.share(arr, parties, rng)
+        assert np.array_equal(AdditiveSharing.reconstruct(shares), arr)
+
+
+class TestTripleDealer:
+    def test_triples_are_valid(self):
+        dealer = TripleDealer(3, seed=5)
+        triple = dealer.triples(100)
+        a = AdditiveSharing.reconstruct(triple.a_shares).astype(np.uint64)
+        b = AdditiveSharing.reconstruct(triple.b_shares).astype(np.uint64)
+        c = AdditiveSharing.reconstruct(triple.c_shares).astype(np.uint64)
+        assert np.array_equal(a * b, c)
+
+
+class TestEngineArithmetic:
+    def test_input_and_open(self, engine):
+        values = np.array([3, -7, 11], dtype=np.int64)
+        vec = engine.input_vector(values, contributor=engine.party_names[0])
+        assert np.array_equal(vec.reveal(), values)
+        assert engine.meter.input_records == 3
+        assert engine.meter.output_records == 3
+
+    def test_addition_and_subtraction(self, engine):
+        x = engine.input_vector(np.array([1, 2, 3]))
+        y = engine.input_vector(np.array([10, 20, 30]))
+        assert np.array_equal((x + y).reveal(), [11, 22, 33])
+        assert np.array_equal((y - x).reveal(), [9, 18, 27])
+
+    def test_scalar_addition_and_scaling(self, engine):
+        x = engine.input_vector(np.array([1, 2, 3]))
+        assert np.array_equal((x + 5).reveal(), [6, 7, 8])
+        assert np.array_equal((x - 1).reveal(), [0, 1, 2])
+        assert np.array_equal(engine.scale(x, -2).reveal(), [-2, -4, -6])
+
+    def test_multiplication_uses_beaver_triples(self, engine):
+        x = engine.input_vector(np.array([2, -3, 5]))
+        y = engine.input_vector(np.array([7, 7, -7]))
+        product = x * y
+        assert np.array_equal(product.reveal(), [14, -21, -35])
+        assert engine.meter.multiplications == 3
+
+    def test_multiplication_by_scalar_is_local(self, engine):
+        x = engine.input_vector(np.array([2, 3]))
+        before = engine.meter.multiplications
+        assert np.array_equal((x * 4).reveal(), [8, 12])
+        assert engine.meter.multiplications == before
+
+    def test_empty_vector_multiplication(self, engine):
+        x = engine.input_vector(np.array([], dtype=np.int64))
+        y = engine.input_vector(np.array([], dtype=np.int64))
+        assert len(x * y) == 0
+
+    def test_length_mismatch_rejected(self, engine):
+        x = engine.input_vector(np.array([1, 2]))
+        y = engine.input_vector(np.array([1]))
+        with pytest.raises(ValueError):
+            engine.mul(x, y)
+
+    def test_cross_engine_mixing_rejected(self, engine):
+        other = SecretSharingEngine(["a", "b"], seed=0)
+        x = engine.input_vector(np.array([1]))
+        y = other.input_vector(np.array([1]))
+        with pytest.raises(ValueError):
+            engine.add(x, y)
+
+    def test_constant_vectors_require_no_communication(self, engine):
+        before = engine.network.stats.messages
+        c = engine.constant(np.array([5, 6]))
+        assert np.array_equal(AdditiveSharing.reconstruct(c.shares), [5, 6])
+        assert engine.network.stats.messages == before
+
+    @given(
+        xs=st.lists(int64s, min_size=1, max_size=20),
+        ys=st.lists(int64s, min_size=1, max_size=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multiplication_matches_cleartext_property(self, xs, ys):
+        n = min(len(xs), len(ys))
+        engine = SecretSharingEngine(["a", "b", "c"], seed=7)
+        x = engine.input_vector(np.array(xs[:n], dtype=np.int64))
+        y = engine.input_vector(np.array(ys[:n], dtype=np.int64))
+        expected = (
+            np.array(xs[:n], dtype=np.int64).astype(np.uint64)
+            * np.array(ys[:n], dtype=np.int64).astype(np.uint64)
+        ).astype(np.int64)
+        assert np.array_equal((x * y).reveal(), expected)
+
+
+class TestComparisonsAndSelect:
+    def test_less_than_and_equals(self, engine):
+        x = engine.input_vector(np.array([1, 5, 5, 9]))
+        y = engine.input_vector(np.array([2, 5, 4, 3]))
+        assert np.array_equal(engine.less_than(x, y).reveal(), [1, 0, 0, 0])
+        assert np.array_equal(engine.equals(x, y).reveal(), [0, 1, 0, 0])
+
+    def test_comparison_against_scalar(self, engine):
+        x = engine.input_vector(np.array([1, 5, 9]))
+        assert np.array_equal(engine.less_than(x, 5).reveal(), [1, 0, 0])
+        assert np.array_equal(engine.equals(x, 5).reveal(), [0, 1, 0])
+
+    def test_comparisons_are_metered(self, engine):
+        x = engine.input_vector(np.array([1, 2, 3]))
+        engine.less_than(x, 2)
+        assert engine.meter.comparisons == 3
+
+    def test_select_multiplexes(self, engine):
+        flag = engine.input_vector(np.array([1, 0, 1]))
+        a = engine.input_vector(np.array([10, 20, 30]))
+        b = engine.input_vector(np.array([-1, -2, -3]))
+        assert np.array_equal(engine.select(flag, a, b).reveal(), [10, -2, 30])
+
+    def test_reveal_to_specific_party(self, engine):
+        x = engine.input_vector(np.array([42]))
+        values = engine.reveal_to(x, engine.party_names[1])
+        assert values.tolist() == [42]
+
+    def test_reveal_to_external_party_is_metered(self, engine):
+        x = engine.input_vector(np.array([42, 43]))
+        before = engine.network.stats.rounds
+        engine.reveal_to(x, "external.example")
+        assert engine.network.stats.rounds > before

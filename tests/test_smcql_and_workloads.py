@@ -1,0 +1,215 @@
+"""Tests for the SMCQL baseline and the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smcql import SMCQLBaseline, SMCQLCostParams
+from repro.workloads.credit import CreditWorkload
+from repro.workloads.generators import (
+    random_integers_table,
+    split_across_parties,
+    uniform_key_value_table,
+)
+from repro.workloads.healthlnk import ASPIRIN_CODE, HEART_DISEASE_CODE, HealthLNKWorkload
+from repro.workloads.taxi import TaxiWorkload
+
+
+class TestSMCQLAspirinCount:
+    def setup_method(self):
+        self.workload = HealthLNKWorkload(patient_overlap=0.1, seed=31)
+        self.diagnoses, self.medications = self.workload.aspirin_count_inputs(60)
+        self.smcql = SMCQLBaseline()
+
+    def test_result_matches_cleartext_reference(self):
+        result = self.smcql.run_aspirin_count(self.diagnoses, self.medications)
+        expected = self.workload.reference_aspirin_count(self.diagnoses, self.medications)
+        assert result.value == expected
+
+    def test_slices_partition_into_local_and_mpc(self):
+        result = self.smcql.run_aspirin_count(self.diagnoses, self.medications)
+        assert result.mpc_slices > 0
+        assert result.local_slices > 0
+        assert result.mpc_gates > 0
+
+    def test_two_parties_required(self):
+        with pytest.raises(ValueError):
+            self.smcql.run_aspirin_count(self.diagnoses[:1], self.medications[:1])
+
+    def test_runtime_grows_with_overlap(self):
+        sparse = HealthLNKWorkload(patient_overlap=0.02, seed=33)
+        dense = HealthLNKWorkload(patient_overlap=0.5, seed=33)
+        d_sparse = self.smcql.run_aspirin_count(*sparse.aspirin_count_inputs(80))
+        d_dense = self.smcql.run_aspirin_count(*dense.aspirin_count_inputs(80))
+        assert d_dense.simulated_seconds > d_sparse.simulated_seconds
+
+    def test_estimate_tracks_execution_order_of_magnitude(self):
+        executed = self.smcql.run_aspirin_count(self.diagnoses, self.medications)
+        estimated = self.smcql.estimate_aspirin_count(60, patient_overlap=0.1)
+        assert estimated == pytest.approx(executed.simulated_seconds, rel=2.0)
+
+    def test_estimate_scales_roughly_linearly(self):
+        small = self.smcql.estimate_aspirin_count(10_000)
+        large = self.smcql.estimate_aspirin_count(100_000)
+        assert 5 < large / small < 20
+
+    def test_paper_anchor_smcql_is_slow_at_200k(self):
+        """Figure 7a: SMCQL runs for over an hour at 200k rows per party."""
+        assert self.smcql.estimate_aspirin_count(200_000, patient_overlap=0.02) > 3600
+
+
+class TestSMCQLComorbidity:
+    def setup_method(self):
+        self.workload = HealthLNKWorkload(distinct_diagnosis_fraction=0.1, seed=37)
+        self.diagnoses = self.workload.comorbidity_inputs(80)
+        self.smcql = SMCQLBaseline()
+
+    def test_result_matches_cleartext_reference(self):
+        result = self.smcql.run_comorbidity(self.diagnoses, top_k=5)
+        reference = self.workload.reference_comorbidity(self.diagnoses, top_k=5)
+        got_counts = sorted(row[1] for row in result.value.rows())
+        expected_counts = sorted(row[1] for row in reference.rows())
+        assert got_counts == expected_counts
+
+    def test_runtime_dominated_by_mpc_merge(self):
+        result = self.smcql.run_comorbidity(self.diagnoses)
+        assert result.mpc_gates > 0
+
+    def test_estimate_grows_superlinearly(self):
+        small = self.smcql.estimate_comorbidity(10_000)
+        large = self.smcql.estimate_comorbidity(100_000)
+        assert large / small > 10
+
+    def test_paper_anchor_smcql_exceeds_hour_at_100k_per_party(self):
+        """Figure 7b: SMCQL takes over an hour once ~20k rows enter MPC."""
+        assert self.smcql.estimate_comorbidity(100_000, distinct_fraction=0.1) > 3600
+
+    def test_cost_params_influence_runtime(self):
+        cheap = SMCQLBaseline(cost_params=SMCQLCostParams(per_slice_overhead_seconds=0.0))
+        expensive = SMCQLBaseline(cost_params=SMCQLCostParams(per_slice_overhead_seconds=10.0))
+        diag, meds = HealthLNKWorkload(patient_overlap=0.2, seed=39).aspirin_count_inputs(40)
+        assert (
+            expensive.run_aspirin_count(diag, meds).simulated_seconds
+            > cheap.run_aspirin_count(diag, meds).simulated_seconds
+        )
+
+
+class TestGenerators:
+    def test_random_integers_table_shape_and_range(self):
+        table = random_integers_table(100, ["a", "b"], low=0, high=50, seed=1)
+        assert table.num_rows == 100
+        assert table.schema.names == ["a", "b"]
+        assert table.column("a").max() < 50
+        assert table.column("a").min() >= 0
+
+    def test_uniform_key_value_table_key_cardinality(self):
+        table = uniform_key_value_table(500, 7, seed=2)
+        assert set(table.column("key").tolist()) <= set(range(7))
+        assert len(set(table.column("key").tolist())) == 7
+
+    def test_uniform_key_value_rejects_zero_keys(self):
+        with pytest.raises(ValueError):
+            uniform_key_value_table(10, 0)
+
+    def test_split_across_parties_partitions_all_rows(self):
+        table = uniform_key_value_table(200, 5, seed=3)
+        parts = split_across_parties(table, 3, seed=4)
+        assert sum(p.num_rows for p in parts) == 200
+        combined = parts[0].concat(*parts[1:])
+        assert combined.equals_unordered(table)
+
+    def test_generators_are_deterministic_per_seed(self):
+        a = uniform_key_value_table(50, 5, seed=9)
+        b = uniform_key_value_table(50, 5, seed=9)
+        c = uniform_key_value_table(50, 5, seed=10)
+        assert a == b
+        assert a != c
+
+
+class TestTaxiWorkload:
+    def test_trip_schema_and_zero_fares(self):
+        workload = TaxiWorkload(zero_fare_fraction=0.3, seed=5)
+        table = workload.party_table(0, 1000)
+        assert table.schema.names == ["companyID", "price"]
+        zero_fraction = (table.column("price") == 0).mean()
+        assert 0.2 < zero_fraction < 0.4
+
+    def test_company_ids_within_range(self):
+        workload = TaxiWorkload(num_companies=4, seed=6)
+        table = workload.party_table(1, 500)
+        assert set(table.column("companyID").tolist()) <= set(range(4))
+
+    def test_reference_hhi_bounds(self):
+        workload = TaxiWorkload(seed=7)
+        tables = workload.party_tables(3, 400)
+        hhi = workload.reference_hhi(tables)
+        assert 1.0 / 3 - 0.05 <= hhi <= 1.0
+
+    def test_skewed_shares_increase_hhi(self):
+        uniform = TaxiWorkload(share_skew=50.0, seed=8)
+        skewed = TaxiWorkload(share_skew=0.2, seed=8)
+        hhi_uniform = uniform.reference_hhi(uniform.party_tables(3, 2000))
+        hhi_skewed = skewed.reference_hhi(skewed.party_tables(3, 2000))
+        assert hhi_skewed > hhi_uniform
+
+
+class TestCreditWorkload:
+    def test_demographics_unique_ssns(self):
+        workload = CreditWorkload(seed=9)
+        demo = workload.demographics(500)
+        assert len(set(demo.column("ssn").tolist())) == 500
+
+    def test_agency_scores_within_range(self):
+        workload = CreditWorkload(min_score=300, max_score=850, seed=10)
+        scores = workload.agency_scores(0, 200, 500)
+        assert scores.column("score").min() >= 300
+        assert scores.column("score").max() <= 850
+
+    def test_join_hit_rate_controls_matches(self):
+        full = CreditWorkload(join_hit_rate=1.0, seed=11)
+        half = CreditWorkload(join_hit_rate=0.5, seed=11)
+        demo_full, agencies_full = full.generate(400, 200)
+        demo_half, agencies_half = half.generate(400, 200)
+        matches_full = demo_full.join(agencies_full[0], ["ssn"], ["ssn"]).num_rows
+        matches_half = demo_half.join(agencies_half[0], ["ssn"], ["ssn"]).num_rows
+        assert matches_full > matches_half
+
+    def test_reference_average_scores_has_avg_column(self):
+        workload = CreditWorkload(num_zip_codes=10, seed=12)
+        demo, agencies = workload.generate(100, 50)
+        reference = workload.reference_average_scores(demo, agencies)
+        assert "avg_score" in reference.schema.names
+        assert reference.num_rows <= 10
+
+
+class TestHealthLNKWorkload:
+    def test_overlap_fraction_respected(self):
+        workload = HealthLNKWorkload(patient_overlap=0.1, seed=13)
+        p0 = set(workload.hospital_patients(0, 1000).tolist())
+        p1 = set(workload.hospital_patients(1, 1000).tolist())
+        overlap = len(p0 & p1)
+        assert 50 <= overlap <= 150
+
+    def test_diagnoses_contain_heart_disease_and_aspirin_codes(self):
+        workload = HealthLNKWorkload(heart_disease_fraction=0.3, aspirin_fraction=0.3, seed=14)
+        diag = workload.diagnoses(0, 500)
+        meds = workload.medications(0, 500)
+        assert (diag.column("diagnosis") == HEART_DISEASE_CODE).mean() > 0.2
+        assert (meds.column("medication") == ASPIRIN_CODE).mean() > 0.2
+
+    def test_comorbidity_distinct_fraction(self):
+        workload = HealthLNKWorkload(distinct_diagnosis_fraction=0.1, seed=15)
+        diag = workload.comorbidity_diagnoses(0, 1000)
+        distinct = len(set(diag.column("diagnosis").tolist()))
+        assert 50 <= distinct <= 110
+
+    def test_reference_comorbidity_is_sorted_descending(self):
+        workload = HealthLNKWorkload(seed=16)
+        reference = workload.reference_comorbidity(workload.comorbidity_inputs(200), top_k=5)
+        counts = [row[1] for row in reference.rows()]
+        assert counts == sorted(counts, reverse=True)
+        assert reference.num_rows == 5
+
+    def test_reference_aspirin_count_nonnegative(self):
+        workload = HealthLNKWorkload(patient_overlap=0.3, seed=17)
+        diag, meds = workload.aspirin_count_inputs(100)
+        assert workload.reference_aspirin_count(diag, meds) >= 0
