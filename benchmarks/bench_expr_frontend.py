@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Micro-benchmark of the expression frontend: build + compile latency.
+
+Constructs a 50-operator expression query — a chain of derived columns,
+compound-predicate filters and multi-aggregate group-bys over two parties —
+and measures
+
+* *build time*: Python-side AST construction and lowering into the operator
+  DAG, and
+* *compile time*: the full six-stage compilation pipeline over the lowered
+  DAG.
+
+Emits ``BENCH_expr.json`` (in the current working directory, or the path
+given as the first argument) so CI can track frontend latency regressions.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_expr_frontend.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+
+import repro as cc
+from repro.core.lang import QueryContext
+
+#: Derived-column / filter stages in the chain; with the input declarations,
+#: the aggregates and the collect this lowers to a ~50-operator DAG.
+CHAIN_STAGES = 14
+REPEATS = 5
+
+
+def build_query() -> QueryContext:
+    """A deep expression query: 50 lowered operators across both parties."""
+    pa, pb = cc.Party("alpha.example"), cc.Party("beta.example")
+    schema = [cc.Column("k", cc.INT), cc.Column("v", cc.INT), cc.Column("w", cc.INT)]
+    with cc.QueryContext() as ctx:
+        t1 = ctx.new_table("t1", schema, at=pa, estimated_rows=10_000)
+        t2 = ctx.new_table("t2", schema, at=pb, estimated_rows=10_000)
+        rel = ctx.concat([t1, t2])
+        for i in range(CHAIN_STAGES):
+            rel = rel.with_column(f"d{i}", cc.col("v") * (i + 2) + cc.col("w"))
+            if i % 3 == 0:
+                rel = rel.filter((cc.col(f"d{i}") > i) | (cc.col("w") == i))
+            rel = rel.project(["k", "v", "w"] + [f"d{j}" for j in range(i + 1)])
+        stats = rel.aggregate(
+            group=["k"],
+            aggs={"total": cc.SUM(f"d{CHAIN_STAGES - 1}"), "n": cc.COUNT(), "hi": cc.MAX("v")},
+        )
+        stats.with_column("avg", cc.col("total") / cc.col("n")).collect("out", to=[pa])
+    return ctx
+
+
+def measure() -> dict:
+    build_times, compile_times, operator_counts, mpc_counts = [], [], [], []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        ctx = build_query()
+        build_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        compiled = cc.compile_query(ctx)
+        compile_times.append(time.perf_counter() - start)
+        operator_counts.append(compiled.operator_count())
+        mpc_counts.append(compiled.mpc_operator_count())
+
+    return {
+        "benchmark": "expr_frontend",
+        "description": "query-build + compile latency of a 50-operator expression query",
+        "repeats": REPEATS,
+        "operators": operator_counts[0],
+        "mpc_operators": mpc_counts[0],
+        "build_seconds_median": statistics.median(build_times),
+        "build_seconds_min": min(build_times),
+        "compile_seconds_median": statistics.median(compile_times),
+        "compile_seconds_min": min(compile_times),
+    }
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_expr.json"
+    results = measure()
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))
+    assert results["operators"] >= 50, "benchmark query shrank below 50 operators"
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,10 @@
 Two hospitals count how many shared patients have a heart-disease diagnosis
 and an aspirin prescription.  Patient identifiers are public (anonymised),
 so Conclave joins the relations in the clear with its public join and only
-the private diagnosis/medication filters run under MPC.  The SMCQL baseline
+the private diagnosis/medication filters run under MPC.  The two conditions
+are one compound predicate in the frontend —
+``(col("diagnosis") == 414) & (col("medication") == 1191)`` — which the
+compiler lowers to the same chain of filter operators as before.  The SMCQL baseline
 runs the join obliviously per patient-id slice on an ObliVM-style
 garbled-circuit backend, which is what Figure 7a compares against.
 

@@ -2,7 +2,8 @@
 """Comorbidity: most common diagnoses in a shared patient cohort (§7.4, Figure 7b).
 
 Two hospitals hold the diagnoses of their c. diff patients and want the ten
-most common co-occurring conditions across both cohorts.  Conclave splits
+most common co-occurring conditions across both cohorts.  The frontend call
+is ``aggregate(group=["diagnosis"], aggs={"cnt": COUNT()})``; Conclave splits
 the count aggregation into local per-hospital partial counts plus a small
 MPC merge; the order-by and limit stay under MPC because diagnosis codes are
 private.  The SMCQL baseline applies the same split but runs its MPC step on

@@ -7,6 +7,11 @@ SSN column, so Conclave turns the expensive MPC join and group-by into a
 hybrid join and a hybrid aggregation with the regulator as the
 selectively-trusted party.
 
+The query (see :func:`repro.queries.credit_card_regulation_query`) is a
+single expression-API pipeline: ``join(..., on="ssn")``, one ``aggregate``
+call computing both ``SUM("score")`` and ``COUNT()`` per ZIP, and an
+``avg = total / cnt`` derived column.
+
 Run with::
 
     python examples/credit_card_regulation.py [rows_per_agency]

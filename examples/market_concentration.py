@@ -2,7 +2,10 @@
 """Market concentration (HHI) across three vehicle-for-hire companies (§2.1, §7.1).
 
 An antitrust regulator wants the Herfindahl-Hirschman index of a ride market
-without any company revealing its sales book.  Conclave pushes the revenue
+without any company revealing its sales book.  The query is pure expression
+API: ``filter(col("price") > 0)``, derived columns like
+``with_column("m_share", col("local_rev") / col("total_rev"))``, and
+single-aggregate ``aggregate(aggs=...)`` calls.  Conclave pushes the revenue
 aggregation down to each company's local (Spark-like) cluster, so only three
 per-company revenue totals ever enter MPC.
 

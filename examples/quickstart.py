@@ -2,8 +2,13 @@
 """Quickstart: a minimal three-party Conclave query.
 
 Three companies each hold a private (region, amount) sales relation.  They
-want the total sales per region across all three companies, revealed only to
-the first company, without showing each other their books.
+want the total and count of positive sales per region across all three
+companies, revealed only to the first company, without showing each other
+their books.
+
+The query uses the expression frontend: the filter predicate is an ordinary
+Python expression over ``cc.col``, and one ``aggregate`` call computes both
+the SUM and the COUNT.
 
 Run with::
 
@@ -28,7 +33,10 @@ def build_query():
             for i, p in enumerate((p1, p2, p3))
         ]
         combined = cc.concat(sales, name="all_sales")
-        per_region = combined.aggregate("total", cc.SUM, group=["region"], over="amount")
+        paid = combined.filter(cc.col("amount") > 0, name="paid_sales")
+        per_region = paid.aggregate(
+            group=["region"], aggs={"total": cc.SUM("amount"), "n": cc.COUNT()}
+        )
         per_region.collect("totals_by_region", to=[p1])
     return query, [p.name for p in (p1, p2, p3)]
 
@@ -61,8 +69,8 @@ def main():
     result = runner.run(compiled)
 
     print("== result revealed to", parties[0], "==")
-    for region, total in sorted(result.outputs["totals_by_region"].rows()):
-        print(f"  region {region}: total sales {total}")
+    for region, total, count in sorted(result.outputs["totals_by_region"].rows()):
+        print(f"  region {region}: total sales {total} over {count} transactions")
     print()
     print(f"simulated end-to-end runtime: {result.simulated_seconds:.2f}s")
     print(f"operators still under MPC   : {compiled.mpc_operator_count()} of {compiled.operator_count()}")

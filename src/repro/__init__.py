@@ -2,19 +2,33 @@
 (Volgushev et al., EuroSys 2019).
 
 The top-level package re-exports the analyst-facing API so queries read like
-the paper's listings::
+the paper's listings.  Queries are written against the expression frontend:
+predicates and derived columns are ordinary Python expressions over
+:func:`col` and :func:`lit`, joins take multi-column keys via ``on=``, and
+group-bys compute any number of aggregates in one call::
 
     import repro as cc
 
     with cc.QueryContext() as q:
-        pA, pB, pC = cc.Party("mpc.ftc.gov"), cc.Party("mpc.a.com"), cc.Party("mpc.b.cash")
+        pA, pB = cc.Party("mpc.ftc.gov"), cc.Party("mpc.a.com")
         demo = cc.new_table("demographics", [cc.Column("ssn"), cc.Column("zip")], at=pA)
-        ...
-        result.collect("avg_scores", to=[pA])
+        scores = cc.new_table("scores", [cc.Column("ssn"), cc.Column("score")], at=pB)
+        good = scores.filter((cc.col("score") > 600) & (cc.col("score") < 850))
+        stats = demo.join(good, on="ssn").aggregate(
+            group=["zip"], aggs={"total": cc.SUM("score"), "cnt": cc.COUNT()}
+        )
+        avg = stats.with_column("avg_score", cc.col("total") / cc.col("cnt"))
+        avg.collect("avg_scores", to=[pA])
 
     compiled = cc.compile_query(q)
     runner = cc.QueryRunner(parties, inputs)
     print(runner.run(compiled).outputs["avg_scores"])
+
+The compiler lowers every expression into its fixed relational operator
+vocabulary before the optimisation passes run, so the cleartext/MPC/hybrid
+split (push-down, push-up, hybrid operators, sort elimination) is untouched
+by how a query was phrased.  The pre-redesign call shapes keep working and
+emit ``DeprecationWarning``.
 
 Sub-packages:
 
@@ -32,8 +46,14 @@ Sub-packages:
 """
 
 from repro.core import (
+    AggFunc,
+    AggSpec,
+    COMPOSITE_KEY_BASE,
     COUNT,
     Column,
+    Expr,
+    col,
+    lit,
     CompilationConfig,
     CompiledQuery,
     EstimatedOOM,
@@ -61,8 +81,14 @@ from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
 __version__ = "1.0.0"
 
 __all__ = [
+    "AggFunc",
+    "AggSpec",
+    "COMPOSITE_KEY_BASE",
     "COUNT",
     "Column",
+    "Expr",
+    "col",
+    "lit",
     "CompilationConfig",
     "CompiledQuery",
     "EstimatedOOM",

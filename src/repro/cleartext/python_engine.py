@@ -92,6 +92,19 @@ class PythonBackend:
         self._charge(handle.num_rows)
         return handle.arithmetic(out_name, left, "/", right)
 
+    def arith(self, handle: Table, out_name: str, left: str, op: str, right: str | float) -> Table:
+        """Append ``out_name = left <op> right`` (``+``/``-`` map operator)."""
+        self._charge(handle.num_rows)
+        return handle.arithmetic(out_name, left, op, right)
+
+    def compare(self, handle: Table, out_name: str, left: str, op: str, right: str | float) -> Table:
+        self._charge(handle.num_rows)
+        return handle.compare(out_name, left, op, right)
+
+    def bool_op(self, handle: Table, out_name: str, op: str, operands: Sequence[str]) -> Table:
+        self._charge(handle.num_rows)
+        return handle.bool_op(out_name, op, list(operands))
+
     def sort_by(self, handle: Table, column: str, ascending: bool = True) -> Table:
         self._charge(handle.num_rows * 2)
         return handle.sort_by([column], ascending=ascending)

@@ -166,6 +166,25 @@ class SparkBackend:
         schema = parts[0].schema if parts else handle.schema
         return PartitionedRelation(schema, parts)
 
+    def arith(self, handle: PartitionedRelation, out_name: str, left: str, op: str, right: str | float) -> PartitionedRelation:
+        parts = [p.arithmetic(out_name, left, op, right) for p in handle.partitions]
+        self._narrow_stage(handle.partitions)
+        schema = parts[0].schema if parts else handle.schema
+        return PartitionedRelation(schema, parts)
+
+    def compare(self, handle: PartitionedRelation, out_name: str, left: str, op: str, right: str | float) -> PartitionedRelation:
+        parts = [p.compare(out_name, left, op, right) for p in handle.partitions]
+        self._narrow_stage(handle.partitions)
+        schema = parts[0].schema if parts else handle.schema
+        return PartitionedRelation(schema, parts)
+
+    def bool_op(self, handle: PartitionedRelation, out_name: str, op: str, operands: Sequence[str]) -> PartitionedRelation:
+        operands = list(operands)
+        parts = [p.bool_op(out_name, op, operands) for p in handle.partitions]
+        self._narrow_stage(handle.partitions)
+        schema = parts[0].schema if parts else handle.schema
+        return PartitionedRelation(schema, parts)
+
     def enumerate_rows(self, handle: PartitionedRelation, out_name: str = "row_id") -> PartitionedRelation:
         """Append a globally unique, contiguous row identifier."""
         parts = []

@@ -26,11 +26,29 @@ from repro.core.compiler import CompiledQuery, CompilationReport, compile_query,
 from repro.core.config import CompilationConfig
 from repro.core.dispatch import QueryResult, QueryRunner, SecurityError
 from repro.core.estimator import EstimatedOOM, EstimatorParams, PlanEstimate, PlanEstimator
-from repro.core.lang import QueryContext, RelationHandle, concat, new_table
+from repro.core.expr import Expr, col, lit
+from repro.core.lang import COMPOSITE_KEY_BASE, QueryContext, RelationHandle, concat, new_table
 from repro.core.party import Party
-from repro.core.types import COUNT, FLOAT, INT, MAX, MEAN, MIN, SUM, Column
+from repro.core.types import (
+    AggFunc,
+    AggSpec,
+    COUNT,
+    FLOAT,
+    INT,
+    MAX,
+    MEAN,
+    MIN,
+    SUM,
+    Column,
+)
 
 __all__ = [
+    "AggFunc",
+    "AggSpec",
+    "COMPOSITE_KEY_BASE",
+    "Expr",
+    "col",
+    "lit",
     "CompiledQuery",
     "CompilationReport",
     "CompilationConfig",

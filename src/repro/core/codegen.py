@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 from repro.core.config import CompilationConfig
 from repro.core.operators import (
     Aggregate,
+    BoolOp,
     Collect,
+    Compare,
     Concat,
     Create,
     Distinct,
@@ -26,6 +28,7 @@ from repro.core.operators import (
     HybridJoin,
     Join,
     Limit,
+    Map,
     Merge,
     Multiply,
     OpNode,
@@ -142,6 +145,12 @@ def _python_statement(node: OpNode) -> str:
         return f"{out} = {args[0]}.arithmetic({node.out_name!r}, {node.left!r}, '*', {node.right!r})"
     if isinstance(node, Divide):
         return f"{out} = {args[0]}.arithmetic({node.out_name!r}, {node.left!r}, '/', {node.right!r})"
+    if isinstance(node, Map):
+        return f"{out} = {args[0]}.arithmetic({node.out_name!r}, {node.left!r}, {node.op!r}, {node.right!r})"
+    if isinstance(node, Compare):
+        return f"{out} = {args[0]}.compare({node.out_name!r}, {node.left!r}, {node.op!r}, {node.right!r})"
+    if isinstance(node, BoolOp):
+        return f"{out} = {args[0]}.bool_op({node.out_name!r}, {node.op!r}, {node.operands!r})"
     if isinstance(node, (HybridJoin, PublicJoin, Join)):
         return f"{out} = {args[0]}.join({args[1]}, [{node.left_on!r}], [{node.right_on!r}])"
     if isinstance(node, Merge):
@@ -182,6 +191,20 @@ def _spark_statement(node: OpNode) -> str:
         return f"{out} = {args[0]}.withColumn({node.out_name!r}, col({node.left!r}) * {_lit(node.right)})"
     if isinstance(node, Divide):
         return f"{out} = {args[0]}.withColumn({node.out_name!r}, col({node.left!r}) / {_lit(node.right)})"
+    if isinstance(node, Map):
+        return f"{out} = {args[0]}.withColumn({node.out_name!r}, col({node.left!r}) {node.op} {_lit(node.right)})"
+    if isinstance(node, Compare):
+        return (
+            f"{out} = {args[0]}.withColumn({node.out_name!r}, "
+            f"(col({node.left!r}) {node.op} {_lit(node.right)}).cast('int'))"
+        )
+    if isinstance(node, BoolOp):
+        if node.op == "not":
+            expr = f"~col({node.operands[0]!r})"
+        else:
+            glue = " & " if node.op == "and" else " | "
+            expr = glue.join(f"col({c!r})" for c in node.operands)
+        return f"{out} = {args[0]}.withColumn({node.out_name!r}, ({expr}).cast('int'))"
     if isinstance(node, (HybridJoin, PublicJoin, Join)):
         return (
             f"{out} = {args[0]}.join({args[1]}, "
@@ -253,6 +276,17 @@ def _secrec_statement(node: OpNode) -> str:
         return f"pd_shared3p int64 [[2]] {out} = mulColumn({args[0]}, \"{node.left}\", {_lit(node.right)});"
     if isinstance(node, Divide):
         return f"pd_shared3p int64 [[2]] {out} = divColumn({args[0]}, \"{node.left}\", {_lit(node.right)});"
+    if isinstance(node, Map):
+        fn = "addColumn" if node.op == "+" else "subColumn"
+        return f"pd_shared3p int64 [[2]] {out} = {fn}({args[0]}, \"{node.left}\", {_lit(node.right)});"
+    if isinstance(node, Compare):
+        return (
+            f"pd_shared3p int64 [[2]] {out} = cmpColumn({args[0]}, "
+            f"\"{node.left} {node.op} {node.right}\");"
+        )
+    if isinstance(node, BoolOp):
+        operands = ", ".join(f'"{c}"' for c in node.operands)
+        return f"pd_shared3p int64 [[2]] {out} = boolColumns({args[0]}, \"{node.op}\", {{{operands}}});"
     if isinstance(node, Merge):
         return f"pd_shared3p int64 [[2]] {out} = obliviousMerge({{{', '.join(args)}}}, \"{node.column}\");"
     if isinstance(node, SortBy):

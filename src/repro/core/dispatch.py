@@ -27,7 +27,9 @@ from repro.cleartext.spark_sim import SparkBackend
 from repro.core.config import CompilationConfig
 from repro.core.operators import (
     Aggregate,
+    BoolOp,
     Collect,
+    Compare,
     Concat,
     Create,
     Distinct,
@@ -37,6 +39,7 @@ from repro.core.operators import (
     HybridJoin,
     Join,
     Limit,
+    Map,
     Merge,
     Multiply,
     OpNode,
@@ -147,7 +150,9 @@ class QueryRunner:
         self.config = config or CompilationConfig()
         self.seed = seed
         self.local_backends = {p: self._make_cleartext_backend() for p in self.parties}
-        self.mpc_backend = self._make_mpc_backend()
+        # A single-party query never crosses the MPC boundary; the MPC
+        # substrates require at least two computing parties.
+        self.mpc_backend = self._make_mpc_backend() if len(self.parties) >= 2 else None
 
     # -- backend construction -------------------------------------------------------------
 
@@ -321,6 +326,12 @@ class QueryRunner:
             return engine.multiply(handles[0], node.out_name, node.left, node.right)
         if isinstance(node, Divide):
             return engine.divide(handles[0], node.out_name, node.left, node.right)
+        if isinstance(node, Map):
+            return engine.arith(handles[0], node.out_name, node.left, node.op, node.right)
+        if isinstance(node, Compare):
+            return engine.compare(handles[0], node.out_name, node.left, node.op, node.right)
+        if isinstance(node, BoolOp):
+            return engine.bool_op(handles[0], node.out_name, node.op, node.operands)
         if isinstance(node, Join):
             return engine.join(handles[0], handles[1], node.left_on, node.right_on)
         if isinstance(node, Merge):
@@ -336,6 +347,11 @@ class QueryRunner:
     # -- handle conversion across the MPC boundary ----------------------------------------------------
 
     def _as_mpc_handle(self, parent: OpNode, env: dict[str, _Entry]):
+        if self.mpc_backend is None:
+            raise ValueError(
+                "plan contains MPC operators but the runner has a single party; "
+                "MPC needs at least two computing parties"
+            )
         entry = env[parent.out_rel.name]
         if entry.kind == "mpc":
             return entry.handle
@@ -416,7 +432,8 @@ class QueryRunner:
 
     def _engine_seconds(self) -> float:
         total = sum(engine.elapsed_seconds() for engine in self.local_backends.values())
-        total += self.mpc_backend.elapsed_seconds()
+        if self.mpc_backend is not None:
+            total += self.mpc_backend.elapsed_seconds()
         return total
 
     def _backend_breakdown(self) -> dict[str, float]:
@@ -424,5 +441,6 @@ class QueryRunner:
             f"local:{party}": engine.elapsed_seconds()
             for party, engine in self.local_backends.items()
         }
-        breakdown[f"mpc:{self.mpc_backend.name}"] = self.mpc_backend.elapsed_seconds()
+        if self.mpc_backend is not None:
+            breakdown[f"mpc:{self.mpc_backend.name}"] = self.mpc_backend.elapsed_seconds()
         return breakdown

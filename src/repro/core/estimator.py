@@ -25,7 +25,9 @@ from repro.cleartext.spark_sim import SparkCostModel, SparkStats
 from repro.core.compiler import CompiledQuery
 from repro.core.operators import (
     Aggregate,
+    BoolOp,
     Collect,
+    Compare,
     Concat,
     Create,
     Distinct,
@@ -35,6 +37,7 @@ from repro.core.operators import (
     HybridJoin,
     Join,
     Limit,
+    Map,
     Merge,
     Multiply,
     OpNode,
@@ -275,6 +278,19 @@ class PlanEstimator:
                 meter.multiplications += rows_in[0]
             else:
                 meter.local_ops += rows_in[0]
+        elif isinstance(node, Compare):
+            # Every operator costs one secret comparison per element
+            # (mirrors _comparison_flags; negations are local).
+            meter.comparisons += rows_in[0]
+        elif isinstance(node, BoolOp):
+            if node.op == "not":
+                meter.local_ops += rows_in[0]
+            else:
+                # and/or fold with one secret multiplication per operand pair.
+                meter.multiplications += max(1, len(node.operands) - 1) * rows_in[0]
+        elif isinstance(node, Map):
+            # Additions/subtractions are local on additive shares.
+            meter.local_ops += rows_in[0]
         elif isinstance(node, SortBy):
             meter.merge(estimates.sort_meter(rows_in[0], cols_out, p))
         elif isinstance(node, Distinct):
@@ -315,6 +331,13 @@ class PlanEstimator:
             gates = n * GATES_PER_MULTIPLICATION
         elif isinstance(node, Divide):
             gates = n * 2 * GATES_PER_MULTIPLICATION
+        elif isinstance(node, Compare):
+            gates = n * GATES_PER_COMPARISON
+        elif isinstance(node, BoolOp):
+            # One non-XOR gate per operand pair per row; NOT is free.
+            gates = n * max(0, len(node.operands) - 1)
+        elif isinstance(node, Map):
+            gates = n * GATES_PER_ADDITION
         elif isinstance(node, SortBy):
             comparators = estimates.bitonic_comparator_count(n)
             gates = comparators * (GATES_PER_COMPARISON + 2 * GATES_PER_MUX * cols_out)

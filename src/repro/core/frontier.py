@@ -26,11 +26,15 @@ from repro.core.config import CompilationConfig
 from repro.core.dag import Dag
 from repro.core.operators import (
     Aggregate,
+    BoolOp,
     Collect,
+    Compare,
     Concat,
     Create,
+    DISTRIBUTIVE_OPS,
     Divide,
     Filter,
+    Map,
     Multiply,
     OpNode,
     Project,
@@ -83,7 +87,7 @@ def _is_partition_point(concat: Concat) -> bool:
 
 def _push_concat_past(dag: Dag, concat: Concat, child: OpNode, config: CompilationConfig) -> bool:
     """Try to push ``concat`` below ``child``; returns True if rewritten."""
-    if isinstance(child, (Project, Filter, Multiply, Divide)):
+    if isinstance(child, DISTRIBUTIVE_OPS):
         if isinstance(child, Filter) and not config.push_down_private_filters:
             # SMCQL-compatible mode: only push filters on public columns down.
             parent_rel = concat.out_rel
@@ -182,6 +186,12 @@ def _clone_unary(node: OpNode, out_rel: Relation, parent: OpNode) -> OpNode:
         return Multiply(out_rel, parent, node.out_name, node.left, node.right)
     if isinstance(node, Divide):
         return Divide(out_rel, parent, node.out_name, node.left, node.right)
+    if isinstance(node, Map):
+        return Map(out_rel, parent, node.out_name, node.left, node.op, node.right)
+    if isinstance(node, Compare):
+        return Compare(out_rel, parent, node.out_name, node.left, node.op, node.right)
+    if isinstance(node, BoolOp):
+        return BoolOp(out_rel, parent, node.out_name, node.op, node.operands)
     raise TypeError(f"cannot distribute operator {type(node).__name__}")
 
 

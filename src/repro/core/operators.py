@@ -19,9 +19,25 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Sequence
 
+from repro.core.expr import COMPARISON_OPS
 from repro.core.relation import Relation
 
 _node_counter = itertools.count()
+
+#: Comparison operators ``Filter`` and ``Compare`` accept — the expression
+#: AST's operator set, validated eagerly at node construction so a typo like
+#: ``"=>"`` fails when the query is *built*, not when it eventually executes.
+SUPPORTED_FILTER_OPS = COMPARISON_OPS
+
+
+def validate_comparison_op(op: str, context: str) -> str:
+    """Reject unknown comparison operators with a helpful message."""
+    if op not in SUPPORTED_FILTER_OPS:
+        raise ValueError(
+            f"unsupported {context} operator {op!r}; supported operators are: "
+            + ", ".join(SUPPORTED_FILTER_OPS)
+        )
+    return op
 
 
 class OpNode:
@@ -138,7 +154,7 @@ class Filter(OpNode):
     def __init__(self, out_rel: Relation, parent: OpNode, column: str, op: str, value: float):
         super().__init__(out_rel, [parent])
         self.column = column
-        self.op = op
+        self.op = validate_comparison_op(op, "filter")
         self.value = value
 
 
@@ -203,6 +219,80 @@ class Divide(OpNode):
     @property
     def scalar_operand(self) -> bool:
         return not isinstance(self.right, str)
+
+
+class Map(OpNode):
+    """Append ``out_name = left <op> right`` for ``op`` in ``+``/``-``.
+
+    Together with :class:`Multiply` and :class:`Divide` this completes the
+    row-wise arithmetic vocabulary the expression lowering targets.
+    """
+
+    op_name = "map"
+    order_preserving = True
+
+    def __init__(
+        self, out_rel: Relation, parent: OpNode, out_name: str, left: str, op: str, right: str | float
+    ):
+        if op not in ("+", "-"):
+            raise ValueError(f"map supports '+' and '-', got {op!r}")
+        super().__init__(out_rel, [parent])
+        self.out_name = out_name
+        self.left = left
+        self.op = op
+        self.right = right
+
+    @property
+    def scalar_operand(self) -> bool:
+        return not isinstance(self.right, str)
+
+
+class Compare(OpNode):
+    """Append a 0/1 column ``out_name = left <op> right``.
+
+    Unlike :class:`Filter`, which discards rows by comparing a column against
+    a public constant, ``Compare`` materialises the comparison outcome as a
+    column — the building block compound predicates (disjunctions,
+    negations, column-vs-column tests) lower to.
+    """
+
+    op_name = "compare"
+    order_preserving = True
+
+    def __init__(
+        self, out_rel: Relation, parent: OpNode, out_name: str, left: str, op: str, right: str | float
+    ):
+        super().__init__(out_rel, [parent])
+        self.out_name = out_name
+        self.left = left
+        self.op = validate_comparison_op(op, "compare")
+        self.right = right
+
+    @property
+    def scalar_operand(self) -> bool:
+        return not isinstance(self.right, str)
+
+
+class BoolOp(OpNode):
+    """Append ``out_name`` combining 0/1 columns with and/or/not."""
+
+    op_name = "bool_op"
+    order_preserving = True
+
+    def __init__(
+        self, out_rel: Relation, parent: OpNode, out_name: str, op: str, operands: Sequence[str]
+    ):
+        operands = list(operands)
+        if op not in ("and", "or", "not"):
+            raise ValueError(f"bool_op supports 'and', 'or' and 'not', got {op!r}")
+        if op == "not" and len(operands) != 1:
+            raise ValueError("'not' takes exactly one operand column")
+        if op in ("and", "or") and len(operands) < 2:
+            raise ValueError(f"{op!r} needs at least two operand columns")
+        super().__init__(out_rel, [parent])
+        self.out_name = out_name
+        self.op = op
+        self.operands = operands
 
 
 class SortBy(OpNode):
@@ -351,8 +441,10 @@ class HybridAggregate(Aggregate):
 
 #: Operators that distribute over a partitioned union: applying them to each
 #: partition and concatenating gives the same result as applying them to the
-#: concatenation (used by the MPC-frontier push-down, §5.2).
-DISTRIBUTIVE_OPS = (Project, Filter, Multiply, Divide)
+#: concatenation (used by the MPC-frontier push-down, §5.2).  The row-wise
+#: expression operators (map/compare/bool_op) are distributive because they
+#: look at one row at a time.
+DISTRIBUTIVE_OPS = (Project, Filter, Multiply, Divide, Map, Compare, BoolOp)
 
 #: Aggregation functions that can be split into per-party partials plus an
 #: MPC merge step.  The merge function for ``count`` partials is ``sum``.
@@ -368,6 +460,9 @@ def is_reversible(node: OpNode) -> bool:
     """
     if isinstance(node, (Multiply, Divide)):
         return node.scalar_operand and node.right != 0
+    if isinstance(node, Map):
+        # Adding/subtracting a public constant is always invertible.
+        return node.scalar_operand
     if isinstance(node, Project):
         # A projection is reversible only if it merely reorders (keeps every
         # input column).

@@ -22,7 +22,9 @@ from __future__ import annotations
 from repro.core.dag import Dag
 from repro.core.operators import (
     Aggregate,
+    BoolOp,
     Collect,
+    Compare,
     Concat,
     Create,
     Distinct,
@@ -30,6 +32,7 @@ from repro.core.operators import (
     Filter,
     Join,
     Limit,
+    Map,
     Merge,
     Multiply,
     OpNode,
@@ -139,8 +142,10 @@ def _derive_trust(node: OpNode) -> dict[str, frozenset[str]]:
         return _join_trust(node)
     if isinstance(node, Aggregate):
         return _aggregate_trust(node)
-    if isinstance(node, (Multiply, Divide)):
+    if isinstance(node, (Multiply, Divide, Map, Compare)):
         return _arithmetic_trust(node)
+    if isinstance(node, BoolOp):
+        return _bool_op_trust(node)
     if isinstance(node, Filter):
         return _filter_trust(node)
     if isinstance(node, SortBy):
@@ -209,7 +214,14 @@ def _aggregate_trust(node: Aggregate) -> dict[str, frozenset[str]]:
     return trust
 
 
-def _arithmetic_trust(node: Multiply | Divide) -> dict[str, frozenset[str]]:
+def _bool_op_trust(node: BoolOp) -> dict[str, frozenset[str]]:
+    parent = node.parent.out_rel
+    trust = {name: parent.column_trust(name) for name in parent.schema.names}
+    trust[node.out_name] = intersect_all([parent.column_trust(c) for c in node.operands])
+    return trust
+
+
+def _arithmetic_trust(node: Multiply | Divide | Map | Compare) -> dict[str, frozenset[str]]:
     parent = node.parent.out_rel
     trust = {name: parent.column_trust(name) for name in parent.schema.names}
     left_trust = parent.column_trust(node.left)

@@ -24,12 +24,45 @@ from repro.data.schema import ColumnDef, ColumnType, PUBLIC, Schema
 INT = ColumnType.INT
 FLOAT = ColumnType.FLOAT
 
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate of a multi-aggregate ``aggregate`` call.
+
+    Built by calling an aggregation function: ``SUM("price")``,
+    ``COUNT()``, ``MEAN("score")``.  ``over`` is the aggregated column
+    (``None`` only for ``count``).
+    """
+
+    func: str
+    over: str | None = None
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        object.__setattr__(self, "func", func)
+        if func != "count" and self.over is None:
+            raise ValueError(f"aggregation {func!r} needs a column: {func.upper()}('col')")
+
+
+class AggFunc(str):
+    """Aggregation function usable both as the legacy string constant and as
+    a callable building an :class:`AggSpec` for the expression frontend.
+
+    ``SUM`` compares equal to ``"sum"`` (so pre-redesign call sites keep
+    working) while ``SUM("price")`` names the aggregated column for the
+    multi-aggregate ``aggregate(group=..., aggs=...)`` form.
+    """
+
+    def __call__(self, over: str | None = None) -> AggSpec:
+        return AggSpec(str(self), over)
+
+
 #: Frontend aliases for aggregation functions.
-SUM = "sum"
-COUNT = "count"
-MIN = "min"
-MAX = "max"
-MEAN = "mean"
+SUM = AggFunc("sum")
+COUNT = AggFunc("count")
+MIN = AggFunc("min")
+MAX = AggFunc("max")
+MEAN = AggFunc("mean")
 
 
 @dataclass

@@ -365,6 +365,42 @@ class Table:
         ctype = ColumnType.FLOAT if np.asarray(result).dtype.kind == "f" else ColumnType.INT
         return self.with_column(out_name, result, ctype)
 
+    def compare(self, out_name: str, left: str, op: str, right: "str | float") -> "Table":
+        """Append a 0/1 column ``out_name = left <op> right``.
+
+        ``right`` is a column name or a public scalar; ``op`` is one of
+        ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.
+        """
+        ops: dict[str, Callable] = {
+            "==": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        if op not in ops:
+            raise ValueError(f"unsupported comparison op {op!r}")
+        lcol = self.column(left)
+        rval = self.column(right) if isinstance(right, str) else right
+        flags = ops[op](lcol, rval).astype(np.int64)
+        return self.with_column(out_name, flags, ColumnType.INT)
+
+    def bool_op(self, out_name: str, op: str, operands: Sequence[str]) -> "Table":
+        """Append ``out_name`` combining 0/1 columns with and/or/not."""
+        cols = [self.column(name) != 0 for name in operands]
+        if op == "and":
+            result = np.logical_and.reduce(cols)
+        elif op == "or":
+            result = np.logical_or.reduce(cols)
+        elif op == "not":
+            if len(cols) != 1:
+                raise ValueError("'not' takes exactly one operand column")
+            result = np.logical_not(cols[0])
+        else:
+            raise ValueError(f"unsupported boolean op {op!r}")
+        return self.with_column(out_name, np.asarray(result).astype(np.int64), ColumnType.INT)
+
     def enumerate_rows(self, out_name: str = "row_id") -> "Table":
         """Append a 0-based row identifier column."""
         return self.with_column(out_name, np.arange(self._nrows, dtype=np.int64), ColumnType.INT)

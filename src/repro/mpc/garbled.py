@@ -192,6 +192,25 @@ class OblivCBackend:
         result = handle.table.arithmetic(out_name, left, "/", right)
         return GarbledTable(result)
 
+    def arith(self, handle: GarbledTable, out_name: str, left: str, op: str, right: str | float) -> GarbledTable:
+        n = handle.num_rows
+        self.total_gates += n * GATES_PER_ADDITION
+        self._charge_memory("map", (handle.num_values + n) * BYTES_PER_VALUE)
+        return GarbledTable(handle.table.arithmetic(out_name, left, op, right))
+
+    def compare(self, handle: GarbledTable, out_name: str, left: str, op: str, right: str | float) -> GarbledTable:
+        n = handle.num_rows
+        self.total_gates += n * GATES_PER_COMPARISON
+        self._charge_memory("compare", (handle.num_values + n) * BYTES_PER_VALUE)
+        return GarbledTable(handle.table.compare(out_name, left, op, right))
+
+    def bool_op(self, handle: GarbledTable, out_name: str, op: str, operands: Sequence[str]) -> GarbledTable:
+        n = handle.num_rows
+        # One non-XOR gate per operand pair per row (NOT is free in circuits).
+        self.total_gates += n * max(0, len(list(operands)) - 1)
+        self._charge_memory("bool_op", (handle.num_values + n) * BYTES_PER_VALUE)
+        return GarbledTable(handle.table.bool_op(out_name, op, list(operands)))
+
     def sort_by(self, handle: GarbledTable, column: str, ascending: bool = True) -> GarbledTable:
         from repro.mpc.estimates import bitonic_comparator_count
 

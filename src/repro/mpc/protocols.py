@@ -205,6 +205,165 @@ def mpc_divide(table: SharedTable, out_name: str, left: str, right: str) -> Shar
     return table._replace(schema, [*table.columns, out_col])
 
 
+def _comparison_flags(
+    engine: SecretSharingEngine,
+    col: SharedVector,
+    op: str,
+    rhs: "SharedVector | int",
+    n: int,
+) -> SharedVector:
+    """Secret 0/1 flags for ``col <op> rhs`` (shared vector or public scalar).
+
+    Every operator costs exactly one secret comparison: for an integer
+    scalar ``v``, ``x <= v`` is ``x < v+1``; for a shared vector ``y``,
+    ``x > y`` is ``y < x``.  Negations are a local share subtraction.
+    """
+    if op == "==":
+        return engine.equals(col, rhs)
+    if op == "!=":
+        eq = engine.equals(col, rhs)
+        return engine.sub(engine.constant(np.ones(n, dtype=np.int64)), eq)
+    if op == "<":
+        return engine.less_than(col, rhs)
+    if op == ">":
+        if isinstance(rhs, SharedVector):
+            return engine.less_than(rhs, col)
+        le = engine.less_than(col, int(rhs) + 1)
+        return engine.sub(engine.constant(np.ones(n, dtype=np.int64)), le)
+    if op == "<=":
+        if isinstance(rhs, SharedVector):
+            gt = engine.less_than(rhs, col)
+            return engine.sub(engine.constant(np.ones(n, dtype=np.int64)), gt)
+        return engine.less_than(col, int(rhs) + 1)
+    if op == ">=":
+        lt = engine.less_than(col, rhs)
+        return engine.sub(engine.constant(np.ones(n, dtype=np.int64)), lt)
+    raise ValueError(f"unsupported comparison op {op!r}")
+
+
+def _comparison_operands(
+    table: SharedTable, left: str, right: str
+) -> "tuple[SharedVector, SharedVector]":
+    """Align the fixed-point scales of a column-vs-column comparison."""
+    engine = table.engine
+    lcol = table.column(left)
+    rcol = table.column(right)
+    left_float = table.schema[left].ctype is ColumnType.FLOAT
+    right_float = table.schema[right].ctype is ColumnType.FLOAT
+    if left_float and not right_float:
+        rcol = engine.scale(rcol, FIXED_POINT_SCALE)
+    elif right_float and not left_float:
+        lcol = engine.scale(lcol, FIXED_POINT_SCALE)
+    return lcol, rcol
+
+
+def _scalar_comparison_flags(
+    table: SharedTable, column: str, op: str, value: float
+) -> SharedVector:
+    """Secret 0/1 flags for ``column <op> public scalar``.
+
+    Fixed-point (FLOAT) columns compare against the scaled constant; for
+    integer columns a fractional constant is rewritten into the exact
+    equivalent integer comparison (``x < 2.5`` → ``x <= 2``; ``x == 2.5`` is
+    constant false), so the cleartext and MPC backends agree bit-for-bit.
+    """
+    engine = table.engine
+    col = table.column(column)
+    n = table.num_rows
+    scalar = float(value)
+    if table.schema[column].ctype is ColumnType.FLOAT:
+        return _comparison_flags(engine, col, op, int(round(scalar * FIXED_POINT_SCALE)), n)
+    if scalar.is_integer():
+        return _comparison_flags(engine, col, op, int(scalar), n)
+    floor = int(np.floor(scalar))
+    if op == "==":
+        return engine.constant(np.zeros(n, dtype=np.int64))
+    if op == "!=":
+        return engine.constant(np.ones(n, dtype=np.int64))
+    if op in ("<", "<="):
+        return _comparison_flags(engine, col, "<=", floor, n)
+    if op in (">", ">="):
+        return _comparison_flags(engine, col, ">=", floor + 1, n)
+    raise ValueError(f"unsupported comparison op {op!r}")
+
+
+def mpc_compare(
+    table: SharedTable, out_name: str, left: str, op: str, right: "str | float"
+) -> SharedTable:
+    """Append a secret 0/1 column ``out_name = left <op> right``.
+
+    ``right`` is a column name or a public scalar.  The flags stay
+    secret-shared — nothing is revealed; compound predicates combine them
+    with :func:`mpc_bool_op` before a single size-revealing filter step.
+    """
+    if isinstance(right, str):
+        lcol, rcol = _comparison_operands(table, left, right)
+        flags = _comparison_flags(table.engine, lcol, op, rcol, table.num_rows)
+    else:
+        flags = _scalar_comparison_flags(table, left, op, right)
+    schema = table.schema.with_column(ColumnDef(out_name, ColumnType.INT))
+    return table._replace(schema, [*table.columns, flags])
+
+
+def mpc_bool_op(
+    table: SharedTable, out_name: str, op: str, operands: Sequence[str]
+) -> SharedTable:
+    """Append ``out_name`` combining secret 0/1 columns with and/or/not."""
+    engine = table.engine
+    cols = [table.column(name) for name in operands]
+    if op == "and":
+        acc = cols[0]
+        for other in cols[1:]:
+            acc = engine.mul(acc, other)
+    elif op == "or":
+        acc = cols[0]
+        for other in cols[1:]:
+            # a OR b == a + b - a*b over 0/1 values.
+            acc = engine.sub(engine.add(acc, other), engine.mul(acc, other))
+    elif op == "not":
+        if len(cols) != 1:
+            raise ValueError("'not' takes exactly one operand column")
+        ones = engine.constant(np.ones(table.num_rows, dtype=np.int64))
+        acc = engine.sub(ones, cols[0])
+    else:
+        raise ValueError(f"unsupported boolean op {op!r}")
+    schema = table.schema.with_column(ColumnDef(out_name, ColumnType.INT))
+    return table._replace(schema, [*table.columns, acc])
+
+
+def mpc_map(
+    table: SharedTable, out_name: str, left: str, op: str, right: "str | float"
+) -> SharedTable:
+    """Append ``out_name = left <op> right`` for ``op`` in ``+``/``-``.
+
+    Additive operations are local on additive shares — no communication.
+    Fixed-point (FLOAT) operands are aligned to a common scale first.
+    """
+    if op not in ("+", "-"):
+        raise ValueError(f"mpc_map supports '+' and '-', got {op!r}")
+    engine = table.engine
+    left_float = table.schema[left].ctype is ColumnType.FLOAT
+    right_float = (
+        table.schema[right].ctype is ColumnType.FLOAT
+        if isinstance(right, str)
+        else isinstance(right, float) and not float(right).is_integer()
+    )
+    out_type = ColumnType.FLOAT if (left_float or right_float) else ColumnType.INT
+    lcol = table.column(left)
+    if out_type is ColumnType.FLOAT and not left_float:
+        lcol = engine.scale(lcol, FIXED_POINT_SCALE)
+    if isinstance(right, str):
+        rhs: "SharedVector | int" = table.column(right)
+        if out_type is ColumnType.FLOAT and not right_float:
+            rhs = engine.scale(rhs, FIXED_POINT_SCALE)
+    else:
+        scalar = float(right)
+        rhs = int(round(scalar * FIXED_POINT_SCALE)) if out_type is ColumnType.FLOAT else int(scalar)
+    result = engine.add(lcol, rhs) if op == "+" else engine.sub(lcol, rhs)
+    schema = table.schema.with_column(ColumnDef(out_name, out_type))
+    return table._replace(schema, [*table.columns, result])
+
+
 def mpc_filter(table: SharedTable, column: str, op: str, value: int) -> SharedTable:
     """Oblivious filter against a public constant.
 
@@ -213,28 +372,7 @@ def mpc_filter(table: SharedTable, column: str, op: str, value: int) -> SharedTa
     size-revealing filter used by the paper's baselines.
     """
     engine = table.engine
-    col = table.column(column)
-    if op == "==":
-        flags = engine.equals(col, value)
-    elif op == "!=":
-        eq = engine.equals(col, value)
-        flags = engine.sub(engine.constant(np.ones(len(eq), dtype=np.int64)), eq)
-    elif op == "<":
-        flags = engine.less_than(col, value)
-    elif op == ">":
-        gt_or_eq = engine.less_than(col, value)
-        eq = engine.equals(col, value)
-        both = engine.add(gt_or_eq, eq)
-        flags = engine.sub(engine.constant(np.ones(len(both), dtype=np.int64)), both)
-    elif op == "<=":
-        lt = engine.less_than(col, value)
-        eq = engine.equals(col, value)
-        flags = engine.add(lt, eq)
-    elif op == ">=":
-        lt = engine.less_than(col, value)
-        flags = engine.sub(engine.constant(np.ones(len(lt), dtype=np.int64)), lt)
-    else:
-        raise ValueError(f"unsupported filter op {op!r}")
+    flags = _scalar_comparison_flags(table, column, op, value)
 
     shuffled = oblivious_shuffle(engine, [flags, *table.columns])
     flag_values = engine.open(shuffled[0])

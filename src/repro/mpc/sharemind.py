@@ -82,7 +82,16 @@ class SharemindBackend:
         return protocols.mpc_project(handle, columns)
 
     def filter(self, handle: SharedTable, column: str, op: str, value: float) -> SharedTable:
-        return protocols.mpc_filter(handle, column, op, int(value))
+        return protocols.mpc_filter(handle, column, op, value)
+
+    def arith(self, handle: SharedTable, out_name: str, left: str, op: str, right: str | float) -> SharedTable:
+        return protocols.mpc_map(handle, out_name, left, op, right)
+
+    def compare(self, handle: SharedTable, out_name: str, left: str, op: str, right: str | float) -> SharedTable:
+        return protocols.mpc_compare(handle, out_name, left, op, right)
+
+    def bool_op(self, handle: SharedTable, out_name: str, op: str, operands: Sequence[str]) -> SharedTable:
+        return protocols.mpc_bool_op(handle, out_name, op, list(operands))
 
     def join(
         self, left: SharedTable, right: SharedTable, left_on: str, right_on: str

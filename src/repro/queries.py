@@ -6,12 +6,19 @@ count, and comorbidity.  Each helper builds the query in a fresh
 :class:`~repro.core.lang.QueryContext` and returns it together with the
 party names and the names of the input/output relations, so callers only
 have to supply data.
+
+The queries are written against the expression API (``col()`` predicates,
+``on=`` join keys, multi-aggregate ``aggregate`` calls); the lowering emits
+exactly the operator DAG the pre-redesign builders produced, so compiled
+plans — including the MPC operator counts and hybrid rewrites the paper's
+figures depend on — are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.expr import col
 from repro.core.lang import QueryContext
 from repro.core.party import Party
 from repro.core.types import COUNT, Column, INT, SUM
@@ -48,21 +55,21 @@ def market_concentration_query(
             for i, p in enumerate(parties)
         ]
         taxi_data = ctx.concat(inputs, name="taxi_data")
-        nonzero = taxi_data.filter("price", ">", 0, name="paid_trips")
+        nonzero = taxi_data.filter(col("price") > 0, name="paid_trips")
         rev = nonzero.project(["companyID", "price"]).aggregate(
-            "local_rev", SUM, group=["companyID"], over="price", name="revenue"
+            group=["companyID"], aggs={"local_rev": SUM("price")}, name="revenue"
         )
-        market_size = rev.aggregate("total_rev", SUM, over="local_rev", name="market_size")
+        market_size = rev.aggregate(aggs={"total_rev": SUM("local_rev")}, name="market_size")
         # Attach the (single-row) market size to every company row by joining
         # on a constant key.
-        rev_keyed = rev.multiply("mkey", "companyID", 0, name="revenue_keyed")
-        market_keyed = market_size.multiply("mkey", "total_rev", 0, name="market_keyed")
-        share = rev_keyed.join(
-            market_keyed, left=["mkey"], right=["mkey"], name="share_join"
-        ).divide("m_share", "local_rev", by="total_rev", name="market_share")
-        hhi = share.multiply("ms_squared", "m_share", "m_share", name="share_squared").aggregate(
-            "hhi", SUM, over="ms_squared", name="hhi_sum"
+        rev_keyed = rev.with_column("mkey", col("companyID") * 0, name="revenue_keyed")
+        market_keyed = market_size.with_column("mkey", col("total_rev") * 0, name="market_keyed")
+        share = rev_keyed.join(market_keyed, on="mkey", name="share_join").with_column(
+            "m_share", col("local_rev") / col("total_rev"), name="market_share"
         )
+        hhi = share.with_column(
+            "ms_squared", col("m_share") * col("m_share"), name="share_squared"
+        ).aggregate(aggs={"hhi": SUM("ms_squared")}, name="hhi_sum")
         hhi.collect("hhi_result", to=[parties[0]])
 
     return QuerySpec(
@@ -102,11 +109,15 @@ def credit_card_regulation_query(
             for i, p in enumerate(p_agencies)
         ]
         all_scores = ctx.concat(scores, name="scores")
-        joined = demographics.join(all_scores, left=["ssn"], right=["ssn"], name="joined")
-        by_zip = joined.aggregate("cnt", COUNT, group=["zip"], name="count_by_zip")
-        total = joined.aggregate("total", SUM, group=["zip"], over="score", name="total_by_zip")
-        avg = total.join(by_zip, left=["zip"], right=["zip"], name="avg_join").divide(
-            "avg_score", "total", by="cnt", name="avg_scores_rel"
+        joined = demographics.join(all_scores, on="ssn", name="joined")
+        # One aggregate call, two aggregates: lowers to two Aggregate
+        # operators joined on the group key — the same plan the paper's
+        # Listing 1 compiles to.
+        stats = joined.aggregate(
+            group=["zip"], aggs={"total": SUM("score"), "cnt": COUNT()}, name="stats_by_zip"
+        )
+        avg = stats.with_column(
+            "avg_score", col("total") / col("cnt"), name="avg_scores_rel"
         )
         avg.collect("avg_scores", to=[p_reg])
 
@@ -156,13 +167,16 @@ def aspirin_count_query(
         ]
         all_diag = ctx.concat(diagnoses, name="diagnoses")
         all_meds = ctx.concat(medications, name="medications")
-        joined = all_diag.join(
-            all_meds, left=["patient_id"], right=["patient_id"], name="rx_join"
+        joined = all_diag.join(all_meds, on="patient_id", name="rx_join")
+        # A compound predicate of simple comparisons lowers to a chain of
+        # Filter operators — identical to the two separate filters the
+        # pre-redesign query used.
+        on_aspirin = joined.filter(
+            (col("diagnosis") == heart_disease_code) & (col("medication") == aspirin_code),
+            name="aspirin",
         )
-        heart = joined.filter("diagnosis", "==", heart_disease_code, name="heart_disease")
-        on_aspirin = heart.filter("medication", "==", aspirin_code, name="aspirin")
         patients = on_aspirin.distinct(["patient_id"], name="distinct_patients")
-        count = patients.aggregate("aspirin_count", COUNT, name="aspirin_count_rel")
+        count = patients.aggregate(aggs={"aspirin_count": COUNT()}, name="aspirin_count_rel")
         count.collect("aspirin_count", to=[p_analyst])
 
     inputs = {h: [f"diagnoses_{i}", f"medications_{i}"] for i, h in enumerate(hospitals)}
@@ -200,7 +214,9 @@ def comorbidity_query(
             for i, p in enumerate(p_hospitals)
         ]
         all_diag = ctx.concat(diagnoses, name="diagnoses")
-        counts = all_diag.aggregate("cnt", COUNT, group=["diagnosis"], name="diag_counts")
+        counts = all_diag.aggregate(
+            group=["diagnosis"], aggs={"cnt": COUNT()}, name="diag_counts"
+        )
         top = counts.sort_by("cnt", ascending=False, name="ordered_counts").limit(
             top_k, name="top_diagnoses"
         )

@@ -1,0 +1,190 @@
+"""Back-compat: every pre-redesign frontend call shape still works via shims.
+
+The expression-API redesign kept the old ``RelationHandle`` signatures as
+thin deprecation shims.  These tests pin, for each legacy shape, that
+
+* a :class:`DeprecationWarning` is emitted,
+* the query still compiles, and
+* executing it produces results identical (byte-for-byte) to the same query
+  phrased in the expression API.
+"""
+
+import warnings
+
+import pytest
+
+import repro as cc
+from repro.core.lang import QueryContext
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+PA, PB = cc.Party("alpha.example"), cc.Party("beta.example")
+
+KV_SCHEMA = Schema([ColumnDef("key"), ColumnDef("value")])
+KV_ROWS = [(1, 10), (2, 20), (1, 30), (3, 40), (2, 50), (4, 60)]
+OTHER_ROWS = [(1, 100), (2, 200), (5, 500)]
+
+
+def frontend_schema():
+    return [cc.Column("key", cc.INT), cc.Column("value", cc.INT)]
+
+
+def inputs():
+    return {
+        PA.name: {"t1": Table.from_rows(KV_SCHEMA, KV_ROWS)},
+        PB.name: {"t2": Table.from_rows(KV_SCHEMA, OTHER_ROWS)},
+    }
+
+
+def run(build):
+    """Build a one-output query with ``build`` and execute it."""
+    with QueryContext() as ctx:
+        t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+        t2 = ctx.new_table("t2", frontend_schema(), at=PB)
+        build(ctx, t1, t2).collect("out", to=[PA])
+    return cc.run_query(ctx, inputs()).outputs["out"]
+
+
+def assert_deprecated(fn):
+    """Run ``fn`` asserting it emits exactly the shim's DeprecationWarning."""
+    with pytest.warns(DeprecationWarning):
+        return fn()
+
+
+class TestLegacyShapes:
+    def test_legacy_filter_warns_and_matches_expression_form(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.filter("value", ">", 25))
+
+        def modern(ctx, t1, t2):
+            return t1.filter(cc.col("value") > 25)
+
+        assert run(legacy) == run(modern)
+
+    def test_legacy_multiply_warns_and_matches_with_column(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.multiply("double", "value", 2))
+
+        def modern(ctx, t1, t2):
+            return t1.with_column("double", cc.col("value") * 2)
+
+        assert run(legacy) == run(modern)
+
+    def test_legacy_column_multiply_matches(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.multiply("prod", "value", "key"))
+
+        def modern(ctx, t1, t2):
+            return t1.with_column("prod", cc.col("value") * cc.col("key"))
+
+        assert run(legacy) == run(modern)
+
+    def test_legacy_divide_warns_and_matches_with_column(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.divide("ratio", "value", by="key"))
+
+        def modern(ctx, t1, t2):
+            return t1.with_column("ratio", cc.col("value") / cc.col("key"))
+
+        assert run(legacy) == run(modern)
+
+    def test_legacy_single_key_join_warns_and_matches_on_form(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.join(t2, left=["key"], right=["key"]))
+
+        def modern(ctx, t1, t2):
+            return t1.join(t2, on="key")
+
+        assert run(legacy).equals_unordered(run(modern))
+
+    def test_legacy_single_agg_aggregate_warns_and_matches_aggs_form(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(
+                lambda: t1.aggregate("total", cc.SUM, group=["key"], over="value")
+            )
+
+        def modern(ctx, t1, t2):
+            return t1.aggregate(group=["key"], aggs={"total": cc.SUM("value")})
+
+        assert run(legacy) == run(modern)
+
+    def test_legacy_scalar_aggregate_matches(self):
+        def legacy(ctx, t1, t2):
+            return assert_deprecated(lambda: t1.aggregate("total", cc.SUM, over="value"))
+
+        def modern(ctx, t1, t2):
+            return t1.aggregate(aggs={"total": cc.SUM("value")})
+
+        assert run(legacy) == run(modern)
+
+
+class TestLegacyRestrictionsPreserved:
+    """The deprecated shapes keep their historical single-column limits."""
+
+    def test_legacy_join_still_rejects_multi_column_keys(self):
+        with QueryContext() as ctx:
+            t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+            t2 = ctx.new_table("t2", frontend_schema(), at=PB)
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(ValueError, match="single-column"):
+                    t1.join(t2, left=["key", "value"], right=["key", "value"])
+
+    def test_legacy_aggregate_still_rejects_multi_column_group(self):
+        with QueryContext() as ctx:
+            t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+            with pytest.warns(DeprecationWarning):
+                with pytest.raises(ValueError, match="single group-by"):
+                    t1.aggregate("x", cc.SUM, group=["key", "value"], over="value")
+
+
+class TestShimsProduceIdenticalPlans:
+    def test_legacy_and_modern_filter_compile_to_identical_operator_dags(self):
+        def build(modern: bool):
+            with QueryContext() as ctx:
+                t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+                t2 = ctx.new_table("t2", frontend_schema(), at=PB)
+                joined = ctx.concat([t1, t2])
+                if modern:
+                    flt = joined.filter(cc.col("value") > 25)
+                else:
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", DeprecationWarning)
+                        flt = joined.filter("value", ">", 25)
+                flt.aggregate(group=["key"], aggs={"s": cc.SUM("value")}).collect(
+                    "out", to=[PA]
+                )
+            return cc.compile_query(ctx)
+
+        legacy, modern = build(False), build(True)
+        assert [type(n).__name__ for n in legacy.dag.topological()] == [
+            type(n).__name__ for n in modern.dag.topological()
+        ]
+        assert legacy.mpc_operator_count() == modern.mpc_operator_count()
+
+    def test_no_warnings_from_expression_api(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with QueryContext() as ctx:
+                t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+                t2 = ctx.new_table("t2", frontend_schema(), at=PB)
+                joined = t1.join(t2, on=[("key", "key"), ("value", "value")])
+                flt = joined.filter(cc.col("key") > 0)
+                flt.aggregate(group=["key"], aggs={"n": cc.COUNT()}).collect("out", to=[PA])
+            cc.compile_query(ctx)
+
+
+class TestAggFuncConstants:
+    def test_constants_still_compare_equal_to_strings(self):
+        assert cc.SUM == "sum"
+        assert cc.COUNT == "count"
+        assert cc.MEAN == "mean"
+        assert cc.SUM.lower() == "sum"
+
+    def test_constants_are_callable_agg_specs(self):
+        spec = cc.SUM("price")
+        assert spec.func == "sum" and spec.over == "price"
+        assert cc.COUNT() == cc.AggSpec("count", None)
+
+    def test_value_aggregations_require_a_column(self):
+        with pytest.raises(ValueError, match="needs a column"):
+            cc.SUM()
