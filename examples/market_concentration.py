@@ -11,7 +11,10 @@ per-company revenue totals ever enter MPC.
 
 Run with::
 
-    python examples/market_concentration.py [rows_per_party]
+    python examples/market_concentration.py [rows_per_party] [runtime]
+
+where ``runtime`` is ``simulated`` (default, every party in this process)
+or ``sockets`` (one OS process per party, share traffic over real TCP).
 """
 
 import sys
@@ -22,7 +25,7 @@ from repro.queries import market_concentration_query
 from repro.workloads.taxi import TaxiWorkload
 
 
-def main(rows_per_party: int = 2_000):
+def main(rows_per_party: int = 2_000, runtime: str = "simulated"):
     workload = TaxiWorkload(num_companies=3, zero_fare_fraction=0.02, seed=7)
     spec = market_concentration_query(rows_per_party=rows_per_party)
 
@@ -36,11 +39,14 @@ def main(rows_per_party: int = 2_000):
     inputs = {
         party: {f"trips_{i}": tables[i]} for i, party in enumerate(spec.parties)
     }
-    runner = cc.QueryRunner(spec.parties, inputs, config)
-    result = runner.run(compiled)
+    if runtime == "sockets":
+        result = cc.SocketCoordinator(spec.parties, inputs, config).run(compiled)
+    else:
+        result = cc.QueryRunner(spec.parties, inputs, config).run(compiled)
 
     hhi = result.outputs["hhi_result"].rows()[0][0]
-    print(f"HHI over {3 * rows_per_party} private trip records: {hhi:.4f}")
+    print(f"[{result.runtime} runtime] "
+          f"HHI over {3 * rows_per_party} private trip records: {hhi:.4f}")
     print(f"cleartext reference                              : {workload.reference_hhi(tables):.4f}")
     print(f"simulated end-to-end runtime                     : {result.simulated_seconds:.1f}s")
     print()
@@ -56,4 +62,7 @@ def main(rows_per_party: int = 2_000):
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2_000)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 2_000,
+        sys.argv[2] if len(sys.argv) > 2 else "simulated",
+    )

@@ -12,8 +12,15 @@ the SUM and the COUNT.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [runtime]
+
+where ``runtime`` is ``simulated`` (default) or ``sockets`` — the latter
+executes the same query with one OS process per party, moving all
+cross-party traffic (including the secret-sharing rounds) over real TCP
+sockets, with byte-identical results.
 """
+
+import sys
 
 import numpy as np
 
@@ -55,7 +62,7 @@ def generate_inputs(parties, rows=200, seed=0):
     return inputs
 
 
-def main():
+def main(runtime: str = "simulated"):
     query, parties = build_query()
 
     # Compile: Conclave decides which operators run locally and which under MPC.
@@ -63,12 +70,15 @@ def main():
     print(compiled.explain())
     print()
 
-    # Execute across the three (simulated) parties.
+    # Execute across the three parties — in-process, or as one OS process
+    # per party with real TCP transport when runtime == "sockets".
     inputs = generate_inputs(parties)
-    runner = cc.QueryRunner(parties, inputs)
-    result = runner.run(compiled)
+    if runtime == "sockets":
+        result = cc.SocketCoordinator(parties, inputs).run(compiled)
+    else:
+        result = cc.QueryRunner(parties, inputs).run(compiled)
 
-    print("== result revealed to", parties[0], "==")
+    print(f"== result revealed to {parties[0]} ({result.runtime} runtime) ==")
     for region, total, count in sorted(result.outputs["totals_by_region"].rows()):
         print(f"  region {region}: total sales {total} over {count} transactions")
     print()
@@ -80,4 +90,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "simulated")

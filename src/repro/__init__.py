@@ -39,6 +39,10 @@ Sub-packages:
   (Obliv-C-style) MPC substrates, built from scratch.
 * :mod:`repro.cleartext` — sequential Python and Spark-like data-parallel
   cleartext engines.
+* :mod:`repro.runtime` — the distributed party-agent runtime: pluggable
+  transports (in-process simulation vs. real TCP sockets between per-party
+  OS processes) and the coordinator/agent execution split.  Pass
+  ``runtime="sockets"`` to :func:`run_query` to use it.
 * :mod:`repro.hybrid` — the hybrid MPC–cleartext protocols (§5.3).
 * :mod:`repro.workloads` — synthetic workload generators for every
   experiment in the paper.
@@ -77,8 +81,15 @@ from repro.core import (
     run_query,
 )
 from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
+from repro.runtime import (
+    SimulatedTransport,
+    SocketCoordinator,
+    SocketTransport,
+    Transport,
+    run_query_sockets,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggFunc",
@@ -116,5 +127,10 @@ __all__ = [
     "Table",
     "read_csv",
     "write_csv",
+    "SimulatedTransport",
+    "SocketCoordinator",
+    "SocketTransport",
+    "Transport",
+    "run_query_sockets",
     "__version__",
 ]

@@ -131,17 +131,39 @@ def compile_query(query: Dag | QueryContext, config: CompilationConfig | None = 
     return CompiledQuery(dag=dag, config=config, subplans=subplans, jobs=jobs, report=report)
 
 
-def run_query(query: Dag | QueryContext, inputs, config: CompilationConfig | None = None, seed: int = 0):
+def run_query(
+    query: Dag | QueryContext,
+    inputs,
+    config: CompilationConfig | None = None,
+    seed: int = 0,
+    runtime: str = "simulated",
+    timeout: float = 60.0,
+):
     """Compile and execute a query in one call.
 
     ``inputs`` maps party name -> {relation name -> Table}.  Returns the
     :class:`~repro.core.dispatch.QueryResult`.
+
+    ``runtime`` selects the execution substrate: ``"simulated"`` runs every
+    party inside this process over the in-process transport (the default);
+    ``"sockets"`` spawns one OS process per party and moves all cross-party
+    traffic — including the secret-sharing rounds of the MPC sub-plans —
+    over real TCP connections.  Both produce byte-identical outputs and
+    identical MPC operator counts.  ``timeout`` (sockets only) bounds every
+    blocking socket operation; raise it for long-running queries.
     """
     from repro.core.dispatch import QueryRunner
 
     config = config or CompilationConfig()
     compiled = compile_query(query, config)
     parties = sorted(compiled.dag.parties() | set(inputs))
+    if runtime == "sockets":
+        from repro.runtime.coordinator import SocketCoordinator
+
+        coordinator = SocketCoordinator(parties, inputs, config, seed=seed, timeout=timeout)
+        return coordinator.run(compiled)
+    if runtime != "simulated":
+        raise ValueError(f"unknown runtime {runtime!r}; use 'simulated' or 'sockets'")
     runner = QueryRunner(parties, inputs, config, seed=seed)
     return runner.run(compiled)
 

@@ -1,14 +1,22 @@
 """Multi-party execution of a compiled query.
 
-The dispatcher plays the role of the per-party Conclave agents (§4.1): it
-instantiates one cleartext backend per party and one MPC backend for the
-joint steps, executes the compiled DAG node by node in topological order,
-and moves relations across the MPC boundary exactly where the plan says —
-secret-sharing local relations into MPC, revealing MPC relations only to
-parties the plan authorises, and routing hybrid operators through the
-selectively-trusted party.
+The in-process :class:`QueryRunner` plays the role of *all* the per-party
+Conclave agents at once (§4.1): it instantiates one cleartext backend per
+party and one MPC backend for the joint steps, executes the compiled DAG
+node by node in topological order, and moves relations across the MPC
+boundary exactly where the plan says — secret-sharing local relations into
+MPC, revealing MPC relations only to parties the plan authorises, and
+routing hybrid operators through the selectively-trusted party.
 
-Alongside the actual results, the dispatcher produces:
+The node-execution logic itself lives in
+:class:`repro.runtime.executor.PlanExecutor`, which is shared with the
+distributed runtime (:mod:`repro.runtime.coordinator` /
+:mod:`repro.runtime.agent`) where each party really is a separate OS
+process.  Pass ``runtime="sockets"`` to :func:`run_query_from_csv` (or to
+:func:`repro.core.compiler.run_query`) to execute over real per-party
+processes instead of the in-process simulation.
+
+Alongside the actual results, both runtimes produce:
 
 * a simulated wall-clock time, computed from the backends' cost models with
   a completion-time recurrence so that independent local work at different
@@ -19,55 +27,20 @@ Alongside the actual results, the dispatcher produces:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.cleartext.python_engine import PythonBackend
-from repro.cleartext.spark_sim import SparkBackend
 from repro.core.config import CompilationConfig
-from repro.core.operators import (
-    Aggregate,
-    BoolOp,
-    Collect,
-    Compare,
-    Concat,
-    Create,
-    Distinct,
-    Divide,
-    Filter,
-    HybridAggregate,
-    HybridJoin,
-    Join,
-    Limit,
-    Map,
-    Merge,
-    Multiply,
-    OpNode,
-    Project,
-    PublicJoin,
-    SortBy,
-)
-from repro.data.schema import PUBLIC
 from repro.data.table import Table
-from repro.hybrid.hybrid_agg import hybrid_aggregate
-from repro.hybrid.hybrid_join import hybrid_join
-from repro.hybrid.public_join import public_join
-from repro.hybrid.stp import LeakageReport, SelectivelyTrustedParty
-from repro.mpc.garbled import OblivCBackend
-from repro.mpc.sharemind import SharemindBackend
+from repro.hybrid.stp import LeakageReport
+from repro.runtime.executor import PlanExecutor, SecurityError, completion_seconds
 
-
-class SecurityError(RuntimeError):
-    """Raised when an execution step would reveal data to an unauthorised party."""
-
-
-@dataclass
-class _Entry:
-    """A relation handle plus where it currently lives."""
-
-    kind: str  # "local" or "mpc"
-    party: str | None
-    handle: object
+__all__ = [
+    "QueryResult",
+    "QueryRunner",
+    "SecurityError",
+    "load_party_inputs",
+    "run_query_from_csv",
+]
 
 
 @dataclass
@@ -79,6 +52,12 @@ class QueryResult:
     wall_seconds: float
     leakage: LeakageReport
     backend_seconds: dict[str, float] = field(default_factory=dict)
+    #: JSON-friendly counters of the joint MPC work (operation counts and
+    #: network traffic); empty for single-party queries.
+    mpc_profile: dict = field(default_factory=dict)
+    #: Which runtime executed the query: ``"simulated"`` (in-process) or
+    #: ``"sockets"`` (one OS process per party).
+    runtime: str = "simulated"
 
     def output(self, name: str) -> Table:
         if name not in self.outputs:
@@ -114,11 +93,15 @@ def run_query_from_csv(
     output_dir: str | None = None,
     config: CompilationConfig | None = None,
     seed: int = 0,
+    runtime: str = "simulated",
+    timeout: float = 60.0,
 ) -> QueryResult:
     """Execute a compiled query whose inputs live in per-party CSV directories.
 
     Outputs are returned as tables and, when ``output_dir`` is given, also
     written there as ``<relation>.csv`` (one file per query output).
+    ``runtime="sockets"`` runs each party as a separate OS process;
+    ``timeout`` bounds its blocking socket operations.
     """
     from pathlib import Path
 
@@ -127,320 +110,33 @@ def run_query_from_csv(
     config = config or compiled.config
     inputs = load_party_inputs(input_dirs)
     parties = sorted(set(input_dirs) | compiled.dag.parties())
-    runner = QueryRunner(parties, inputs, config, seed=seed)
-    result = runner.run(compiled)
+    if runtime == "sockets":
+        from repro.runtime.coordinator import SocketCoordinator
+
+        coordinator = SocketCoordinator(parties, inputs, config, seed=seed, timeout=timeout)
+        result = coordinator.run(compiled)
+    elif runtime == "simulated":
+        result = QueryRunner(parties, inputs, config, seed=seed).run(compiled)
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}; use 'simulated' or 'sockets'")
     if output_dir is not None:
         for name, table in result.outputs.items():
             write_csv(table, Path(output_dir) / f"{name}.csv")
     return result
 
 
-class QueryRunner:
-    """Executes compiled queries over in-memory party inputs."""
-
-    def __init__(
-        self,
-        parties: list[str],
-        inputs: dict[str, dict[str, Table]],
-        config: CompilationConfig | None = None,
-        seed: int = 0,
-    ):
-        self.parties = list(parties)
-        self.inputs = inputs
-        self.config = config or CompilationConfig()
-        self.seed = seed
-        self.local_backends = {p: self._make_cleartext_backend() for p in self.parties}
-        # A single-party query never crosses the MPC boundary; the MPC
-        # substrates require at least two computing parties.
-        self.mpc_backend = self._make_mpc_backend() if len(self.parties) >= 2 else None
-
-    # -- backend construction -------------------------------------------------------------
-
-    def _make_cleartext_backend(self):
-        if self.config.cleartext_backend == "spark":
-            return SparkBackend()
-        return PythonBackend()
-
-    def _make_mpc_backend(self):
-        if self.config.mpc_backend == "obliv-c":
-            compute = self.parties[: OblivCBackend.MAX_PARTIES]
-            return OblivCBackend(compute)
-        compute = self.parties[: SharemindBackend.MAX_PARTIES]
-        return SharemindBackend(compute, seed=self.seed)
-
-    # -- execution -------------------------------------------------------------------------
+class QueryRunner(PlanExecutor):
+    """Executes compiled queries over in-memory party inputs, in one process."""
 
     def run(self, compiled) -> QueryResult:
         """Execute a :class:`~repro.core.compiler.CompiledQuery`."""
-        dag = compiled.dag
-        leakage = LeakageReport()
-        env: dict[str, _Entry] = {}
-        outputs: dict[str, Table] = {}
-        finish_time: dict[int, float] = {}
-        all_parties = set(self.parties) | dag.parties()
-
-        wall_start = time.perf_counter()
-        for node in dag.topological():
-            start = max((finish_time[p.node_id] for p in node.parents), default=0.0)
-            before = self._engine_seconds()
-            entry = self._execute_node(node, env, outputs, leakage, all_parties)
-            env[node.out_rel.name] = entry
-            duration = self._engine_seconds() - before
-            finish_time[node.node_id] = start + duration
-        wall_seconds = time.perf_counter() - wall_start
-
-        simulated = max(finish_time.values(), default=0.0)
+        outcome = self.execute(compiled)
         return QueryResult(
-            outputs=outputs,
-            simulated_seconds=simulated,
-            wall_seconds=wall_seconds,
-            leakage=leakage,
-            backend_seconds=self._backend_breakdown(),
+            outputs=outcome.outputs,
+            simulated_seconds=completion_seconds(compiled.dag, outcome.node_durations),
+            wall_seconds=outcome.wall_seconds,
+            leakage=outcome.leakage,
+            backend_seconds=outcome.backend_seconds,
+            mpc_profile=outcome.mpc_profile,
+            runtime="simulated",
         )
-
-    # -- node execution ----------------------------------------------------------------------
-
-    def _execute_node(
-        self,
-        node: OpNode,
-        env: dict[str, _Entry],
-        outputs: dict[str, Table],
-        leakage: LeakageReport,
-        all_parties: set[str],
-    ) -> _Entry:
-        if isinstance(node, Create):
-            return self._execute_create(node)
-        if isinstance(node, Collect):
-            return self._execute_collect(node, env, outputs, leakage, all_parties)
-        if node.is_mpc:
-            return self._execute_mpc_node(node, env, leakage, all_parties)
-        return self._execute_local_node(node, env, leakage, all_parties)
-
-    def _execute_create(self, node: Create) -> _Entry:
-        owner = node.out_rel.owner
-        if owner is None:
-            raise ValueError(f"input relation {node.out_rel.name!r} has no owner")
-        try:
-            table = self.inputs[owner][node.out_rel.name]
-        except KeyError as exc:
-            raise KeyError(
-                f"party {owner!r} has no input relation {node.out_rel.name!r}; "
-                f"available: {sorted(self.inputs.get(owner, {}))}"
-            ) from exc
-        handle = self.local_backends[owner].ingest(table, contributor=owner)
-        return _Entry("local", owner, handle)
-
-    def _execute_collect(
-        self,
-        node: Collect,
-        env: dict[str, _Entry],
-        outputs: dict[str, Table],
-        leakage: LeakageReport,
-        all_parties: set[str],
-    ) -> _Entry:
-        parent = node.parents[0]
-        entry = env[parent.out_rel.name]
-        if entry.kind == "mpc":
-            table = self.mpc_backend.reveal(entry.handle)
-            leakage.record(
-                "output", node.out_rel.name, node.out_rel.schema.names, node.recipients,
-                detail=f"{table.num_rows} rows revealed as query output",
-            )
-        else:
-            table = self.local_backends[entry.party].collect(entry.handle)
-            if entry.party not in node.recipients:
-                leakage.record(
-                    "cleartext_transfer", node.out_rel.name, node.out_rel.schema.names,
-                    node.recipients, detail=f"sent from {entry.party}",
-                )
-        outputs[node.out_rel.name] = table
-        return _Entry("local", node.recipients[0], table)
-
-    def _execute_local_node(
-        self,
-        node: OpNode,
-        env: dict[str, _Entry],
-        leakage: LeakageReport,
-        all_parties: set[str],
-    ) -> _Entry:
-        party = node.run_at or node.out_rel.owner
-        if party is None:
-            raise ValueError(f"cleartext operator {node!r} has no executing party")
-        engine = self.local_backends[party]
-        handles = [
-            self._as_local_handle(parent, node, party, env, leakage, all_parties)
-            for parent in node.parents
-        ]
-        result = self._apply_operator(engine, node, handles)
-        return _Entry("local", party, result)
-
-    def _execute_mpc_node(
-        self,
-        node: OpNode,
-        env: dict[str, _Entry],
-        leakage: LeakageReport,
-        all_parties: set[str],
-    ) -> _Entry:
-        handles = [self._as_mpc_handle(parent, env) for parent in node.parents]
-
-        if isinstance(node, HybridJoin):
-            stp = self._stp_for(node.stp)
-            result = hybrid_join(
-                self._require_sharemind("hybrid join"), stp, handles[0], handles[1],
-                node.left_on, node.right_on, leakage,
-            )
-            return _Entry("mpc", None, result)
-        if isinstance(node, PublicJoin):
-            host = self._stp_for(node.host)
-            result = public_join(
-                self._require_sharemind("public join"), host, handles[0], handles[1],
-                node.left_on, node.right_on, leakage,
-            )
-            return _Entry("mpc", None, result)
-        if isinstance(node, HybridAggregate):
-            stp = self._stp_for(node.stp)
-            result = hybrid_aggregate(
-                self._require_sharemind("hybrid aggregation"), stp, handles[0],
-                node.group_col, node.agg_col, node.func, node.out_name, leakage,
-            )
-            return _Entry("mpc", None, result)
-
-        result = self._apply_operator(self.mpc_backend, node, handles)
-        return _Entry("mpc", None, result)
-
-    # -- operator application ----------------------------------------------------------------------
-
-    def _apply_operator(self, engine, node: OpNode, handles: list):
-        if isinstance(node, Concat):
-            return engine.concat(handles)
-        if isinstance(node, Project):
-            return engine.project(handles[0], node.columns)
-        if isinstance(node, Filter):
-            return engine.filter(handles[0], node.column, node.op, node.value)
-        if isinstance(node, Aggregate):
-            return engine.aggregate(
-                handles[0], node.group_col, node.agg_col, node.func, node.out_name,
-                presorted=node.presorted,
-            )
-        if isinstance(node, Multiply):
-            return engine.multiply(handles[0], node.out_name, node.left, node.right)
-        if isinstance(node, Divide):
-            return engine.divide(handles[0], node.out_name, node.left, node.right)
-        if isinstance(node, Map):
-            return engine.arith(handles[0], node.out_name, node.left, node.op, node.right)
-        if isinstance(node, Compare):
-            return engine.compare(handles[0], node.out_name, node.left, node.op, node.right)
-        if isinstance(node, BoolOp):
-            return engine.bool_op(handles[0], node.out_name, node.op, node.operands)
-        if isinstance(node, Join):
-            return engine.join(handles[0], handles[1], node.left_on, node.right_on)
-        if isinstance(node, Merge):
-            return engine.merge_sorted(handles, node.column, ascending=node.ascending)
-        if isinstance(node, SortBy):
-            return engine.sort_by(handles[0], node.column, ascending=node.ascending)
-        if isinstance(node, Distinct):
-            return engine.distinct(handles[0], node.columns)
-        if isinstance(node, Limit):
-            return engine.limit(handles[0], node.n)
-        raise TypeError(f"unsupported operator {type(node).__name__}")
-
-    # -- handle conversion across the MPC boundary ----------------------------------------------------
-
-    def _as_mpc_handle(self, parent: OpNode, env: dict[str, _Entry]):
-        if self.mpc_backend is None:
-            raise ValueError(
-                "plan contains MPC operators but the runner has a single party; "
-                "MPC needs at least two computing parties"
-            )
-        entry = env[parent.out_rel.name]
-        if entry.kind == "mpc":
-            return entry.handle
-        table = self.local_backends[entry.party].collect(entry.handle)
-        return self.mpc_backend.ingest(table, contributor=entry.party)
-
-    def _as_local_handle(
-        self,
-        parent: OpNode,
-        consumer: OpNode,
-        party: str,
-        env: dict[str, _Entry],
-        leakage: LeakageReport,
-        all_parties: set[str],
-    ):
-        entry = env[parent.out_rel.name]
-        engine = self.local_backends[party]
-        if entry.kind == "local":
-            if entry.party == party:
-                return entry.handle
-            if not self._authorized(parent, consumer, party, all_parties):
-                raise SecurityError(
-                    f"plan would transfer relation {parent.out_rel.name!r} from "
-                    f"{entry.party} to unauthorised party {party}"
-                )
-            table = self.local_backends[entry.party].collect(entry.handle)
-            leakage.record(
-                "cleartext_transfer", parent.out_rel.name, parent.out_rel.schema.names,
-                [party], detail=f"sent from {entry.party}",
-            )
-            return engine.ingest(table, contributor=entry.party)
-        # MPC-resident relation revealed to a single party.
-        if not self._authorized(parent, consumer, party, all_parties):
-            raise SecurityError(
-                f"plan would reveal MPC relation {parent.out_rel.name!r} to "
-                f"unauthorised party {party}"
-            )
-        table = self.mpc_backend.reveal_to(entry.handle, party)
-        leakage.record(
-            "column_reveal", parent.out_rel.name, parent.out_rel.schema.names, [party],
-            detail=f"{table.num_rows} rows revealed for cleartext post-processing",
-        )
-        return engine.ingest(table, contributor=party)
-
-    def _authorized(
-        self, parent: OpNode, consumer: OpNode, party: str, all_parties: set[str]
-    ) -> bool:
-        """Check that revealing ``parent``'s relation to ``party`` is allowed."""
-        rel = parent.out_rel
-        if rel.owner == party:
-            return True
-        if isinstance(consumer, Collect) and party in consumer.recipients:
-            return True
-        if consumer.run_at == party and getattr(consumer, "lifted", False):
-            # Push-up lifted a reversible operator to the output recipient:
-            # its input is derivable from the output the recipient receives.
-            return True
-        trust_ok = all(
-            party in rel.column_trust(col) or PUBLIC in rel.column_trust(col)
-            for col in rel.schema.names
-        )
-        return trust_ok
-
-    # -- helpers ------------------------------------------------------------------------------------------
-
-    def _stp_for(self, party: str) -> SelectivelyTrustedParty:
-        if party not in self.local_backends:
-            self.local_backends[party] = self._make_cleartext_backend()
-        return SelectivelyTrustedParty(party, self.local_backends[party])
-
-    def _require_sharemind(self, what: str) -> SharemindBackend:
-        if not isinstance(self.mpc_backend, SharemindBackend):
-            raise ValueError(
-                f"{what} requires the secret-sharing (sharemind) MPC backend; "
-                f"configured backend is {self.config.mpc_backend!r}"
-            )
-        return self.mpc_backend
-
-    def _engine_seconds(self) -> float:
-        total = sum(engine.elapsed_seconds() for engine in self.local_backends.values())
-        if self.mpc_backend is not None:
-            total += self.mpc_backend.elapsed_seconds()
-        return total
-
-    def _backend_breakdown(self) -> dict[str, float]:
-        breakdown = {
-            f"local:{party}": engine.elapsed_seconds()
-            for party, engine in self.local_backends.items()
-        }
-        if self.mpc_backend is not None:
-            breakdown[f"mpc:{self.mpc_backend.name}"] = self.mpc_backend.elapsed_seconds()
-        return breakdown

@@ -179,20 +179,27 @@ def _split_aggregate(dag: Dag, concat: Concat, agg: Aggregate) -> None:
 
 def _clone_unary(node: OpNode, out_rel: Relation, parent: OpNode) -> OpNode:
     if isinstance(node, Project):
-        return Project(out_rel, parent, node.columns)
-    if isinstance(node, Filter):
-        return Filter(out_rel, parent, node.column, node.op, node.value)
-    if isinstance(node, Multiply):
-        return Multiply(out_rel, parent, node.out_name, node.left, node.right)
-    if isinstance(node, Divide):
-        return Divide(out_rel, parent, node.out_name, node.left, node.right)
-    if isinstance(node, Map):
-        return Map(out_rel, parent, node.out_name, node.left, node.op, node.right)
-    if isinstance(node, Compare):
-        return Compare(out_rel, parent, node.out_name, node.left, node.op, node.right)
-    if isinstance(node, BoolOp):
-        return BoolOp(out_rel, parent, node.out_name, node.op, node.operands)
-    raise TypeError(f"cannot distribute operator {type(node).__name__}")
+        clone = Project(out_rel, parent, node.columns)
+    elif isinstance(node, Filter):
+        clone = Filter(out_rel, parent, node.column, node.op, node.value)
+    elif isinstance(node, Multiply):
+        clone = Multiply(out_rel, parent, node.out_name, node.left, node.right)
+    elif isinstance(node, Divide):
+        clone = Divide(out_rel, parent, node.out_name, node.left, node.right)
+    elif isinstance(node, Map):
+        clone = Map(out_rel, parent, node.out_name, node.left, node.op, node.right)
+    elif isinstance(node, Compare):
+        clone = Compare(out_rel, parent, node.out_name, node.left, node.op, node.right)
+    elif isinstance(node, BoolOp):
+        clone = BoolOp(out_rel, parent, node.out_name, node.op, node.operands)
+    else:
+        raise TypeError(f"cannot distribute operator {type(node).__name__}")
+    check = getattr(node, "key_range_check", None)
+    if check is not None:
+        # Keep the composite-key range guard on every per-party copy of a
+        # distributed encode operator.
+        clone.key_range_check = check
+    return clone
 
 
 # -- push-up ---------------------------------------------------------------------------------------

@@ -754,6 +754,13 @@ class RelationHandle:
             is_last = i == len(columns) - 2
             shifted = handle._fresh_col()
             handle = handle._emit_multiply(shifted, acc, key_base)
+            if i == 0:
+                # The encoding is collision-free only for key values in
+                # [0, key_base); mark the first operator of the encode chain
+                # so the executor checks the actual key data at run time
+                # instead of silently mis-encoding (see
+                # PlanExecutor._validate_key_range).
+                handle.node.key_range_check = (tuple(columns), int(key_base))
             temps.append(shifted)
             target = out_name if is_last else handle._fresh_col()
             handle = handle._emit_map(target, shifted, "+", column)

@@ -1,4 +1,4 @@
-"""Simulated party-to-party network.
+"""Party-to-party network with pluggable transports.
 
 MPC protocols are communication-bound: secret-sharing multiplications need a
 message exchange, oblivious shuffles reshare whole relations, and garbled
@@ -7,67 +7,72 @@ these costs on actual datacentre links; here every transfer goes through a
 :class:`Network` object that records messages, bytes, and *rounds* (batches
 of messages that could be sent in parallel), so the cost models in
 :mod:`repro.mpc.runtime` can reconstruct realistic wall-clock times.
+
+Delivery is delegated to a :class:`~repro.runtime.transport.Transport`:
+
+* the default :class:`~repro.runtime.transport.SimulatedTransport` keeps the
+  original single-process queues (accounting is byte-for-byte identical to
+  the pre-transport ``Network``);
+* a :class:`~repro.runtime.transport.SocketTransport` endpoint, used by the
+  distributed runtime, routes every message between two distinct parties
+  over a real TCP connection between per-party OS processes.
+
+Accounting always happens here, before delivery, so the recorded traffic is
+identical whichever transport carries it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
+from repro.runtime.transport import (
+    Message,
+    NetworkStats,
+    SimulatedTransport,
+    Transport,
+)
 
-@dataclass
-class NetworkStats:
-    """Aggregate traffic counters for one protocol execution."""
-
-    messages: int = 0
-    bytes_sent: int = 0
-    rounds: int = 0
-
-    def merge(self, other: "NetworkStats") -> None:
-        self.messages += other.messages
-        self.bytes_sent += other.bytes_sent
-        self.rounds += other.rounds
-
-    def copy(self) -> "NetworkStats":
-        return NetworkStats(self.messages, self.bytes_sent, self.rounds)
-
-    def reset(self) -> None:
-        self.messages = 0
-        self.bytes_sent = 0
-        self.rounds = 0
-
-
-@dataclass
-class Message:
-    """A single message in flight between two parties."""
-
-    sender: str
-    receiver: str
-    payload: Any
-    size_bytes: int
+__all__ = ["Message", "Network", "NetworkStats"]
 
 
 class Network:
-    """In-process message fabric connecting the computing parties.
+    """Message fabric connecting the computing parties.
 
-    Parties address each other by name.  ``send`` enqueues a message;
-    ``recv`` pops the oldest message for a receiver (optionally filtered by
-    sender).  ``barrier`` marks the end of a communication round: all
-    messages sent since the previous barrier are assumed to travel in
-    parallel, so they contribute a single round-trip latency to the cost
-    model regardless of how many parties exchanged data.
+    Parties address each other by name.  ``send`` delivers a message through
+    the transport; ``recv`` pops the oldest message for a receiver
+    (optionally filtered by sender).  ``barrier`` marks the end of a
+    communication round: all messages sent since the previous barrier are
+    assumed to travel in parallel, so they contribute a single round-trip
+    latency to the cost model regardless of how many parties exchanged data.
     """
 
     #: Wire size of one 64-bit field element (share), in bytes.
     SHARE_BYTES = 8
 
-    def __init__(self, party_names: list[str]):
+    def __init__(self, party_names: list[str], transport: Transport | None = None):
         if len(set(party_names)) != len(party_names):
             raise ValueError("party names must be unique")
         self.party_names = list(party_names)
-        self._queues: dict[str, list[Message]] = {p: [] for p in party_names}
+        if transport is None:
+            transport = SimulatedTransport(self.party_names)
+        elif list(transport.party_names) != self.party_names:
+            raise ValueError(
+                f"transport parties {transport.party_names} do not match the "
+                f"network parties {self.party_names}"
+            )
+        self.transport = transport
         self.stats = NetworkStats()
         self._sent_since_barrier = 0
+
+    @property
+    def reference_party(self) -> str:
+        """The party whose view of received payloads this endpoint exposes.
+
+        For the in-process transport every party's view is available and the
+        first party is used by convention; a socket endpoint embodies one
+        specific party, whose inbound payloads arrive off the wire.
+        """
+        return self.transport.reference_party
 
     def send(self, sender: str, receiver: str, payload: Any, size_bytes: int) -> None:
         """Send ``payload`` from ``sender`` to ``receiver``."""
@@ -76,10 +81,10 @@ class Network:
         if sender == receiver:
             raise ValueError("a party cannot send a network message to itself")
         msg = Message(sender, receiver, payload, int(size_bytes))
-        self._queues[receiver].append(msg)
         self.stats.messages += 1
         self.stats.bytes_sent += int(size_bytes)
         self._sent_since_barrier += 1
+        self.transport.deliver(msg)
 
     def recv(self, receiver: str, sender: str | None = None) -> Any:
         """Receive the oldest pending message for ``receiver``.
@@ -88,12 +93,7 @@ class Network:
         returned instead.  Raises ``LookupError`` if nothing is pending.
         """
         self._check_party(receiver)
-        queue = self._queues[receiver]
-        for i, msg in enumerate(queue):
-            if sender is None or msg.sender == sender:
-                queue.pop(i)
-                return msg.payload
-        raise LookupError(f"no pending message for {receiver!r} from {sender!r}")
+        return self.transport.pop(receiver, sender).payload
 
     def broadcast(self, sender: str, payload: Any, size_bytes: int) -> None:
         """Send ``payload`` from ``sender`` to every other party."""
@@ -109,7 +109,8 @@ class Network:
 
     def pending(self, receiver: str) -> int:
         """Number of undelivered messages addressed to ``receiver``."""
-        return len(self._queues[receiver])
+        self._check_party(receiver)
+        return self.transport.pending(receiver)
 
     def account_rounds(self, rounds: int, bytes_per_round: int, messages_per_round: int = 1) -> None:
         """Record traffic analytically without materialising messages.
@@ -128,5 +129,5 @@ class Network:
         self._sent_since_barrier = 0
 
     def _check_party(self, name: str) -> None:
-        if name not in self._queues:
+        if name not in self.party_names:
             raise KeyError(f"unknown party {name!r}; known parties: {self.party_names}")

@@ -174,22 +174,78 @@ class SecretSharingEngine:
         self.meter = meter or CostMeter()
         self.dealer = TripleDealer(self.num_parties, seed=None if seed is None else seed + 1)
 
+    # -- communication rounds -----------------------------------------------------------
+
+    def _round(self, tag: str, sends: "list[tuple[str, str, np.ndarray | tuple]]", size_bytes: int) -> dict:
+        """Execute one communication round and consume its messages.
+
+        Each ``(sender, receiver, payload)`` message is sent through the
+        network (which meters it and, on a socket transport, moves the
+        payload between the party processes), the round is closed with a
+        barrier, and every message of the round is received back out of the
+        queues.  Returns ``{(sender, receiver): payload}`` as *delivered* —
+        for the reference party of a real transport these are the bytes that
+        actually crossed the process boundary, not the local copies.
+        """
+        for sender, receiver, payload in sends:
+            self.network.send(sender, receiver, (tag, payload), size_bytes)
+        self.network.barrier()
+        delivered = {}
+        for sender, receiver, _payload in sends:
+            got_tag, payload = self.network.recv(receiver, sender)
+            if got_tag != tag:
+                raise RuntimeError(
+                    f"protocol desynchronisation: expected a {tag!r} message from "
+                    f"{sender!r} to {receiver!r} but received {got_tag!r}"
+                )
+            delivered[(sender, receiver)] = payload
+        return delivered
+
+    def _exchange(self, tag: str, per_party: "list[np.ndarray | tuple]", size_bytes: int) -> list:
+        """All-to-all broadcast of one payload per party (one round).
+
+        Returns the payload list as seen by the network's reference party:
+        its own entry is the local value, every other entry is the payload
+        the reference party received — off the wire when the transport is a
+        real one.
+        """
+        sends = [
+            (sender, receiver, per_party[i])
+            for i, sender in enumerate(self.party_names)
+            for receiver in self.party_names
+            if receiver != sender
+        ]
+        delivered = self._round(tag, sends, size_bytes)
+        ref = self.network.reference_party
+        return [
+            per_party[i] if name == ref else delivered[(name, ref)]
+            for i, name in enumerate(self.party_names)
+        ]
+
     # -- share lifecycle ---------------------------------------------------------------
 
     def input_vector(self, values: np.ndarray, contributor: str | None = None) -> SharedVector:
         """Secret-share a cleartext vector into the MPC.
 
         ``contributor`` names the party providing the data; it distributes
-        one share to every other party (one network round).
+        one share to every other party (one network round).  Each receiving
+        party's share is the payload that was actually delivered to it, so
+        on a socket transport the share data genuinely crosses the process
+        boundary.
         """
         values = np.asarray(values, dtype=np.int64)
         shares = AdditiveSharing.share(values, self.num_parties, self.rng)
         contributor = contributor or self.party_names[0]
         size = values.size * Network.SHARE_BYTES
-        for name in self.party_names:
-            if name != contributor:
-                self.network.send(contributor, name, "input-share", size)
-        self.network.barrier()
+        sends = [
+            (contributor, name, shares[i])
+            for i, name in enumerate(self.party_names)
+            if name != contributor
+        ]
+        delivered = self._round("input-share", sends, size)
+        ref = self.network.reference_party
+        if ref != contributor:
+            shares[self.party_names.index(ref)] = delivered[(contributor, ref)]
         self.meter.input_records += int(values.size)
         return SharedVector(self, shares)
 
@@ -202,13 +258,16 @@ class SecretSharingEngine:
         return SharedVector(self, shares)
 
     def open(self, vec: SharedVector) -> np.ndarray:
-        """Reveal a shared vector to all parties (one broadcast round)."""
+        """Reveal a shared vector to all parties (one broadcast round).
+
+        Every party broadcasts its share; the reconstruction uses the shares
+        as delivered, so on a socket transport the opened value depends on
+        bytes received from the peer processes.
+        """
         size = len(vec) * Network.SHARE_BYTES
-        for name in self.party_names:
-            self.network.broadcast(name, "open-share", size)
-        self.network.barrier()
+        delivered = self._exchange("open-share", list(vec.shares), size)
         self.meter.output_records += len(vec)
-        return AdditiveSharing.reconstruct(vec.shares)
+        return AdditiveSharing.reconstruct(delivered)
 
     def reveal_to(self, vec: SharedVector, party: str) -> np.ndarray:
         """Reveal a shared vector to a single party only."""
@@ -219,14 +278,22 @@ class SecretSharingEngine:
             self.network.account_rounds(
                 1, len(vec) * Network.SHARE_BYTES, messages_per_round=self.num_parties
             )
-        else:
-            size = len(vec) * Network.SHARE_BYTES
-            for name in self.party_names:
-                if name != party:
-                    self.network.send(name, party, "reveal-share", size)
-            self.network.barrier()
+            self.meter.output_records += len(vec)
+            return AdditiveSharing.reconstruct(vec.shares)
+        size = len(vec) * Network.SHARE_BYTES
+        sends = [
+            (name, party, vec.shares[i])
+            for i, name in enumerate(self.party_names)
+            if name != party
+        ]
+        delivered = self._round("reveal-share", sends, size)
+        party_idx = self.party_names.index(party)
+        shares = [
+            vec.shares[i] if i == party_idx else delivered[(name, party)]
+            for i, name in enumerate(self.party_names)
+        ]
         self.meter.output_records += len(vec)
-        return AdditiveSharing.reconstruct(vec.shares)
+        return AdditiveSharing.reconstruct(shares)
 
     # -- linear operations (local) ------------------------------------------------------
 
@@ -279,13 +346,16 @@ class SecretSharingEngine:
         # d = x - a and e = y - b are opened; z = c + d*b + e*a + d*e.
         d_shares = [l - a for l, a in zip(left.shares, triple.a_shares)]
         e_shares = [r - b for r, b in zip(right.shares, triple.b_shares)]
-        # Opening d and e costs one broadcast round of 2 * n elements.
+        # Opening d and e costs one broadcast round of 2 * n elements; the
+        # reconstruction sums the (d_i, e_i) pairs as delivered, so on a
+        # socket transport the product depends on bytes received from the
+        # peer processes.
         size = 2 * n * Network.SHARE_BYTES
-        for name in self.party_names:
-            self.network.broadcast(name, "beaver-open", size)
-        self.network.barrier()
-        d = np.add.reduce(np.stack(d_shares), axis=0)
-        e = np.add.reduce(np.stack(e_shares), axis=0)
+        delivered = self._exchange(
+            "beaver-open", [(d, e) for d, e in zip(d_shares, e_shares)], size
+        )
+        d = np.add.reduce(np.stack([pair[0] for pair in delivered]), axis=0)
+        e = np.add.reduce(np.stack([pair[1] for pair in delivered]), axis=0)
 
         out_shares = []
         for i in range(self.num_parties):

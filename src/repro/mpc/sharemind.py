@@ -41,6 +41,7 @@ class SharemindBackend:
         party_names: Sequence[str],
         seed: int | None = 0,
         cost_model: SharemindCostModel | None = None,
+        network=None,
     ):
         party_names = list(party_names)
         if len(party_names) < 2:
@@ -50,7 +51,7 @@ class SharemindBackend:
                 f"the Sharemind backend supports at most {self.MAX_PARTIES} computing parties"
             )
         self.party_names = party_names
-        self.engine = SecretSharingEngine(party_names, seed=seed)
+        self.engine = SecretSharingEngine(party_names, seed=seed, network=network)
         self.cost_model = cost_model or SharemindCostModel()
 
     # -- data movement -----------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Distributed party-agent runtime (§4.1 deployment model).
+
+The paper's prototype runs one Conclave *agent* per data-owning party; the
+agents execute their local sub-plans against the party's cleartext engine
+and meet in joint MPC steps over real datacentre links.  This package grows
+the reproduction from a purely in-process simulation to that deployment
+shape:
+
+* :mod:`repro.runtime.transport` — the :class:`Transport` abstraction the
+  party-to-party :class:`~repro.mpc.network.Network` sends its messages
+  through.  :class:`SimulatedTransport` keeps the original in-process
+  queues (and byte-for-byte identical :class:`NetworkStats` accounting);
+  :class:`SocketTransport` moves every cross-party message over a real TCP
+  connection between per-party OS processes.
+* :mod:`repro.runtime.wire` / :mod:`repro.runtime.mesh` — length-prefixed
+  pickle framing and the full TCP mesh connecting the party agents.
+* :mod:`repro.runtime.executor` — the node-by-node plan executor shared by
+  the in-process :class:`~repro.core.dispatch.QueryRunner` and the
+  per-party agents.
+* :mod:`repro.runtime.agent` / :mod:`repro.runtime.coordinator` — the
+  per-party agent process and the driver that partitions the plan, ships
+  each party its sub-plans and input tables, and collects the authorised
+  reveals.
+
+Heavy modules (coordinator, agent, executor) are imported lazily so that
+importing :mod:`repro.mpc.network` (which needs only the transports) does
+not drag in the whole execution stack.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.transport import (
+    Message,
+    NetworkStats,
+    SimulatedTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+)
+
+__all__ = [
+    "Message",
+    "NetworkStats",
+    "SimulatedTransport",
+    "SocketTransport",
+    "Transport",
+    "TransportError",
+    "PlanExecutor",
+    "PartyAgent",
+    "SocketCoordinator",
+    "run_query_sockets",
+]
+
+_LAZY = {
+    "PlanExecutor": ("repro.runtime.executor", "PlanExecutor"),
+    "PartyAgent": ("repro.runtime.agent", "PartyAgent"),
+    "SocketCoordinator": ("repro.runtime.coordinator", "SocketCoordinator"),
+    "run_query_sockets": ("repro.runtime.coordinator", "run_query_sockets"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

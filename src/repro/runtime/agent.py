@@ -1,0 +1,124 @@
+"""The per-party agent process of the distributed runtime.
+
+One agent embodies one data-owning party (§4.1): it receives the compiled
+plan and its own input relations from the coordinator over a control socket,
+joins the agent-to-agent TCP mesh, executes its cleartext sub-plans with its
+own backend, ships relations that the plan moves across party boundaries,
+and participates in every MPC sub-plan — the joint secret-sharing protocol
+is executed in lockstep by all agents from the shared seed, with each
+agent's share traffic flowing through its mesh sockets (see
+:mod:`repro.runtime.transport`).
+
+``agent_main`` is the process entry point used by
+:class:`~repro.runtime.coordinator.SocketCoordinator`; it is a plain
+module-level function so it works under both the ``fork`` and ``spawn``
+multiprocessing start methods.
+"""
+
+from __future__ import annotations
+
+import socket
+import traceback
+
+from repro.runtime.mesh import PeerMesh, bind_listener, connect_mesh
+from repro.runtime.wire import recv_frame, send_frame
+
+
+class PartyAgent:
+    """Executes one party's side of a compiled plan inside its own process."""
+
+    def __init__(
+        self,
+        party: str,
+        parties: list[str],
+        inputs: dict,
+        config,
+        seed: int,
+        mesh: PeerMesh | None,
+    ):
+        # Imported here (not at module top) so a freshly spawned agent
+        # process pays the import cost once, after the fork/spawn settled.
+        from repro.runtime.executor import PlanExecutor
+
+        self.party = party
+        self.mesh = mesh
+        self.executor = PlanExecutor(
+            parties,
+            {party: inputs},
+            config,
+            seed=seed,
+            local_parties={party},
+            mesh=mesh,
+        )
+
+    def run(self, compiled) -> dict:
+        """Execute the plan and return a picklable result payload."""
+        outcome = self.executor.execute(compiled)
+        return {
+            "party": self.party,
+            "outputs": outcome.outputs,
+            "node_durations": outcome.node_durations,
+            "wall_seconds": outcome.wall_seconds,
+            "leakage": outcome.leakage,
+            "joint_leakage": outcome.joint_leakage,
+            "backend_seconds": outcome.backend_seconds,
+            "mpc_profile": outcome.mpc_profile,
+        }
+
+
+def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
+    """Process entry point: handshake, mesh setup, plan execution."""
+    control = socket.create_connection((host, port), timeout=timeout)
+    control.settimeout(timeout)
+    mesh: PeerMesh | None = None
+    listener = None
+    try:
+        send_frame(control, ("hello", party))
+        tag, bundle = recv_frame(control)
+        if tag != "plan":
+            raise RuntimeError(f"agent {party!r} expected a plan frame, got {tag!r}")
+        parties = bundle["parties"]
+        run_timeout = bundle.get("timeout", timeout)
+
+        # Deterministic port assignment: bind an ephemeral port (the OS
+        # picks a free one) and let the coordinator broadcast the map.
+        listener = bind_listener(run_timeout)
+        send_frame(control, ("ports", listener.getsockname()[1]))
+        tag, ports = recv_frame(control)
+        if tag != "peers":
+            raise RuntimeError(f"agent {party!r} expected a peers frame, got {tag!r}")
+        mesh = connect_mesh(party, parties, ports, listener, timeout=run_timeout)
+
+        agent = PartyAgent(
+            party, parties, bundle["inputs"], bundle["config"], bundle["seed"], mesh,
+        )
+        payload = agent.run(bundle["compiled"])
+        send_frame(control, ("result", payload))
+    except BaseException as exc:  # noqa: BLE001 - everything must reach the coordinator
+        try:
+            send_frame(control, ("error", _picklable(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if mesh is not None:
+            mesh.close()
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        try:
+            control.close()
+        except OSError:
+            pass
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives pickling, else an equivalent RuntimeError."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")

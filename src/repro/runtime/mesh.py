@@ -1,0 +1,228 @@
+"""The full TCP mesh connecting the per-party agent processes.
+
+Every agent binds a listener on an ephemeral port (``bind("127.0.0.1", 0)``
+— the OS picks a free port, so concurrent test runs never collide), reports
+the chosen port to the coordinator, and receives the full party→port map
+back.  The mesh is then established deterministically: agent *i* dials every
+agent *j < i* (in the shared party order) and introduces itself with a hello
+frame, so both ends agree on which party each connection belongs to.
+
+Each connection gets a reader thread that demultiplexes incoming frames by
+kind into per-peer FIFO queues:
+
+* ``msg``   — engine-level protocol messages (share exchanges) consumed by
+  :class:`~repro.runtime.transport.SocketTransport`;
+* ``table`` — whole relations shipped between sub-plans (a party's input
+  entering MPC, or an authorised cleartext transfer).
+
+All blocking reads carry a timeout, so a crashed peer surfaces as a
+:class:`MeshTimeout` instead of a wedged process.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.runtime.transport import TransportError
+from repro.runtime.wire import WireError, recv_frame, send_frame
+
+KIND_MSG = "msg"
+KIND_TABLE = "table"
+_KINDS = (KIND_MSG, KIND_TABLE)
+
+#: How long an agent keeps retrying to dial a peer that has announced its
+#: port but may not have reached ``accept`` yet.
+_DIAL_RETRY_SECONDS = 10.0
+
+
+class MeshTimeout(TransportError):
+    """A peer did not produce an expected frame within the timeout."""
+
+
+@dataclass
+class _PeerClosed:
+    """Sentinel queued when a peer connection dies."""
+
+    error: Exception
+
+
+class PeerMesh:
+    """Bidirectional frame channels from one agent to every other agent."""
+
+    def __init__(self, party: str, connections: dict[str, socket.socket], timeout: float = 60.0):
+        self.party = party
+        self.timeout = timeout
+        self._socks = dict(connections)
+        self._send_locks = {p: threading.Lock() for p in self._socks}
+        self._queues: dict[str, dict[str, queue.Queue]] = {
+            kind: {p: queue.Queue() for p in self._socks} for kind in _KINDS
+        }
+        self._closed = False
+        self._readers = []
+        for peer, sock in self._socks.items():
+            thread = threading.Thread(
+                target=self._read_loop, args=(peer, sock), daemon=True,
+                name=f"mesh-reader-{party}-{peer}",
+            )
+            thread.start()
+            self._readers.append(thread)
+
+    @property
+    def peers(self) -> set[str]:
+        return set(self._socks)
+
+    # -- frame plumbing ----------------------------------------------------------------
+
+    def _read_loop(self, peer: str, sock: socket.socket) -> None:
+        # Catch *everything*: a malformed frame (wrong tuple shape, unknown
+        # kind) must surface as _PeerClosed at the consumers, not silently
+        # kill the reader thread and degrade every later read into a
+        # root-cause-free MeshTimeout.
+        try:
+            while True:
+                frame = recv_frame(sock)
+                try:
+                    kind, payload = frame
+                    queue_for_peer = self._queues[kind][peer]
+                except (TypeError, ValueError, KeyError):
+                    raise WireError(
+                        f"malformed mesh frame from {peer!r}: {type(frame).__name__}"
+                    ) from None
+                queue_for_peer.put(payload)
+        except Exception as exc:  # noqa: BLE001 - reader thread must never die silently
+            for kind in _KINDS:
+                self._queues[kind][peer].put(_PeerClosed(exc))
+
+    def _send(self, peer: str, kind: str, payload: Any) -> None:
+        try:
+            sock = self._socks[peer]
+        except KeyError:
+            raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
+        with self._send_locks[peer]:
+            send_frame(sock, (kind, payload))
+
+    def _receive(self, peer: str, kind: str) -> Any:
+        try:
+            item = self._queues[kind][peer].get(timeout=self.timeout)
+        except KeyError:
+            raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
+        except queue.Empty:
+            raise MeshTimeout(
+                f"agent {self.party!r} timed out after {self.timeout:.0f}s waiting for a "
+                f"{kind!r} frame from {peer!r}"
+            ) from None
+        if isinstance(item, _PeerClosed):
+            raise TransportError(
+                f"mesh link {self.party!r} <- {peer!r} closed: {item.error}"
+            ) from item.error
+        return item
+
+    # -- engine-level messages -----------------------------------------------------------
+
+    def send_message(self, peer: str, message: tuple) -> None:
+        self._send(peer, KIND_MSG, message)
+
+    def receive_message(self, peer: str) -> tuple:
+        return self._receive(peer, KIND_MSG)
+
+    # -- relation shipping ----------------------------------------------------------------
+
+    def send_table(self, peer: str, relation: str, table) -> None:
+        self._send(peer, KIND_TABLE, (relation, table))
+
+    def broadcast_table(self, relation: str, table) -> None:
+        for peer in sorted(self._socks):
+            self.send_table(peer, relation, table)
+
+    def receive_table(self, peer: str, relation: str):
+        got_relation, table = self._receive(peer, KIND_TABLE)
+        if got_relation != relation:
+            raise TransportError(
+                f"agent {self.party!r} expected relation {relation!r} from {peer!r} "
+                f"but received {got_relation!r}; the party processes have diverged"
+            )
+        return table
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for sock in self._socks.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def bind_listener(timeout: float) -> socket.socket:
+    """Bind a loopback listener on an ephemeral port (deterministic: the OS
+    hands out a free port, which is then exchanged via handshake)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(16)
+    listener.settimeout(timeout)
+    return listener
+
+
+def connect_mesh(
+    party: str,
+    parties: list[str],
+    ports: dict[str, int],
+    listener: socket.socket,
+    timeout: float = 60.0,
+) -> PeerMesh:
+    """Establish the full mesh for ``party`` given every agent's port.
+
+    ``parties`` is the shared, ordered party list; agent *i* dials every
+    agent *j < i* and accepts one connection from every agent *j > i*.
+    """
+    order = list(parties)
+    index = order.index(party)
+    connections: dict[str, socket.socket] = {}
+
+    for peer in order[:index]:
+        connections[peer] = _dial(party, peer, ports[peer], timeout)
+
+    for _ in order[index + 1:]:
+        try:
+            sock, _addr = listener.accept()
+        except (socket.timeout, OSError) as exc:
+            raise MeshTimeout(
+                f"agent {party!r} timed out waiting for inbound mesh connections"
+            ) from exc
+        sock.settimeout(timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello, peer = recv_frame(sock)
+        if hello != "hello" or peer not in order:
+            raise TransportError(f"agent {party!r} received a malformed mesh hello: {hello!r}")
+        connections[peer] = sock
+
+    return PeerMesh(party, connections, timeout=timeout)
+
+
+def _dial(party: str, peer: str, port: int, timeout: float) -> socket.socket:
+    deadline = time.monotonic() + min(_DIAL_RETRY_SECONDS, timeout)
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+            sock.settimeout(timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_frame(sock, ("hello", party))
+            return sock
+        except OSError as exc:
+            last_error = exc
+            time.sleep(0.05)
+    raise TransportError(
+        f"agent {party!r} could not reach peer {peer!r} on port {port}: {last_error}"
+    )

@@ -1,0 +1,163 @@
+"""Pluggable transports for the party-to-party network.
+
+:class:`~repro.mpc.network.Network` accounts for every message (count,
+bytes, rounds) and hands the actual delivery to a :class:`Transport`:
+
+* :class:`SimulatedTransport` — the original in-process behaviour: messages
+  are queued per receiver inside one Python process.  Accounting, queueing
+  and ``recv`` semantics are byte-for-byte identical to the pre-refactor
+  :class:`Network`.
+* :class:`SocketTransport` — the distributed runtime: each party runs as
+  its own OS process, and every message between two *distinct* parties is
+  written to (and read from) a real TCP connection of the agent mesh.  The
+  party processes execute the joint MPC protocol in lockstep from a shared
+  seed, so a transport endpoint knows which party it embodies
+  (``local_party``): sends *from* that party go out on the wire, and
+  deliveries *to* that party block until the peer's frame arrives — the
+  enqueued payload is the one read off the socket, not the locally computed
+  copy.  Messages between two remote parties are queued locally so the
+  replicated joint computation can proceed.
+
+Both transports expose identical queue semantics, so the secret-sharing
+engine's communication pattern (and therefore :class:`NetworkStats`) is the
+same whichever transport carries it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.mesh import PeerMesh
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure (peer gone, frame mismatch, timeout)."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for one protocol execution."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    rounds: int = 0
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.bytes_sent += other.bytes_sent
+        self.rounds += other.rounds
+
+    def copy(self) -> "NetworkStats":
+        return NetworkStats(self.messages, self.bytes_sent, self.rounds)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.rounds = 0
+
+
+@dataclass
+class Message:
+    """A single message in flight between two parties."""
+
+    sender: str
+    receiver: str
+    payload: Any
+    size_bytes: int
+
+
+class Transport:
+    """Delivery fabric between named parties with per-receiver FIFO queues."""
+
+    #: The party this endpoint embodies, or ``None`` for the in-process
+    #: fabric that models every party at once.
+    local_party: str | None = None
+
+    def __init__(self, party_names: list[str]):
+        self.party_names = list(party_names)
+        self._queues: dict[str, list[Message]] = {p: [] for p in self.party_names}
+
+    # -- delivery ----------------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Deliver ``message`` into the receiver's queue."""
+        raise NotImplementedError
+
+    def pop(self, receiver: str, sender: str | None = None) -> Message:
+        """Pop the oldest queued message for ``receiver`` (optionally from ``sender``)."""
+        queue = self._queues[receiver]
+        for i, msg in enumerate(queue):
+            if sender is None or msg.sender == sender:
+                return queue.pop(i)
+        raise LookupError(f"no pending message for {receiver!r} from {sender!r}")
+
+    def pending(self, receiver: str) -> int:
+        """Number of undelivered messages addressed to ``receiver``."""
+        return len(self._queues[receiver])
+
+    @property
+    def reference_party(self) -> str:
+        """The party whose view of received payloads this endpoint holds."""
+        return self.local_party or self.party_names[0]
+
+    def close(self) -> None:
+        """Release any transport resources (no-op for in-process queues)."""
+
+
+class SimulatedTransport(Transport):
+    """The in-process queue fabric (the original :class:`Network` behaviour)."""
+
+    def deliver(self, message: Message) -> None:
+        self._queues[message.receiver].append(message)
+
+
+class SocketTransport(Transport):
+    """Per-party endpoint routing cross-party messages over the TCP mesh.
+
+    ``party_names`` are the *computing* parties of the MPC engine — a subset
+    of the agents in the mesh.  The SPMD invariant is that every agent
+    performs the same ``deliver`` calls in the same order; this endpoint
+    turns the calls where it is the sender into real socket writes and the
+    calls where it is the receiver into blocking socket reads, and verifies
+    that what arrives matches the replicated computation's expectation.
+    """
+
+    def __init__(self, party_names: list[str], mesh: "PeerMesh"):
+        super().__init__(party_names)
+        self.mesh = mesh
+        self.local_party = mesh.party
+
+    def deliver(self, message: Message) -> None:
+        me = self.local_party
+        if message.sender == me and message.receiver in self.mesh.peers:
+            # My own outbound traffic: ship the real payload to the peer
+            # process, and keep the local copy so the replicated joint
+            # computation still sees a complete queue state.
+            self.mesh.send_message(
+                message.receiver,
+                (message.sender, message.receiver, message.payload, message.size_bytes),
+            )
+            self._queues[message.receiver].append(message)
+            return
+        if message.receiver == me and message.sender in self.mesh.peers:
+            # Inbound traffic: block until the peer's frame arrives and
+            # enqueue *that* payload — the bytes genuinely crossed the
+            # process boundary.  A sender/receiver mismatch means the
+            # replicated protocol executions diverged.
+            sender, receiver, payload, size_bytes = self.mesh.receive_message(message.sender)
+            if sender != message.sender or receiver != message.receiver:
+                raise TransportError(
+                    f"agent {me!r} expected a message {message.sender!r} -> "
+                    f"{message.receiver!r} but the wire carried {sender!r} -> {receiver!r}; "
+                    "the party processes have diverged"
+                )
+            self._queues[me].append(Message(sender, receiver, payload, size_bytes))
+            return
+        # A message between two remote parties (or a party without an agent
+        # in the mesh): queue the locally computed replica.
+        self._queues[message.receiver].append(message)
+
+    def close(self) -> None:
+        self.mesh.close()

@@ -1,0 +1,58 @@
+"""Length-prefixed pickle framing for the socket runtime.
+
+Every connection of the distributed runtime — coordinator-to-agent control
+links and the agent-to-agent mesh — speaks the same trivial protocol: a
+4-byte big-endian length header followed by a pickled Python object.  The
+payloads never leave the local machine group running the query (parties are
+mutually known processes of one deployment), so pickle's convenience
+outweighs its trust assumptions here; a production deployment would swap in
+msgpack plus TLS, which is exactly why the framing lives in its own module.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+#: Upper bound on a single frame; a frame larger than this indicates stream
+#: corruption (e.g. a desynchronised header), not a legitimate payload.
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A connection failed mid-frame or produced a corrupt frame."""
+
+
+def send_frame(sock: socket.socket, obj: object) -> None:
+    """Serialise ``obj`` and write it as one length-prefixed frame."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    try:
+        sock.sendall(_HEADER.pack(len(data)) + data)
+    except OSError as exc:
+        raise WireError(f"failed to send {len(data)}-byte frame: {exc}") from exc
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one length-prefixed frame and unpickle it."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"incoming frame claims {length} bytes; stream is corrupt")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except OSError as exc:
+            raise WireError(f"connection error while reading frame: {exc}") from exc
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        buf.extend(chunk)
+    return bytes(buf)

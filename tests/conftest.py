@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,31 @@ from repro.data.table import Table
 from repro.mpc.secretshare import SecretSharingEngine
 
 PARTIES = ["alpha.example", "beta.example", "gamma.example"]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_agent_processes():
+    """Kill any party-agent process a test leaks so the suite never wedges.
+
+    The socket runtime spawns one OS process per party; a test that fails
+    mid-handshake could otherwise leave agents blocked on socket reads.
+    Every agent is daemonic and every blocking read has a timeout, but this
+    guard makes leaks impossible regardless.
+    """
+    yield
+    from repro.runtime.coordinator import active_agent_processes
+
+    leaked = list(active_agent_processes())
+    leaked += [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("conclave-agent-") and p not in leaked
+    ]
+    for proc in leaked:
+        proc.terminate()
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
 
 
 @pytest.fixture

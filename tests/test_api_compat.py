@@ -20,6 +20,19 @@ from repro.data.table import Table
 
 PA, PB = cc.Party("alpha.example"), cc.Party("beta.example")
 
+
+@pytest.fixture(autouse=True)
+def deprecation_warnings_are_errors():
+    """Run every test in this module under ``-W error::DeprecationWarning``.
+
+    The shims must *warn* (asserted with ``pytest.warns``, which still
+    records under the error filter) — and nothing else in the build, compile
+    or execution path may emit a stray DeprecationWarning.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
 KV_SCHEMA = Schema([ColumnDef("key"), ColumnDef("value")])
 KV_ROWS = [(1, 10), (2, 20), (1, 30), (3, 40), (2, 50), (4, 60)]
 OTHER_ROWS = [(1, 100), (2, 200), (5, 500)]
@@ -171,6 +184,123 @@ class TestShimsProduceIdenticalPlans:
                 flt = joined.filter(cc.col("key") > 0)
                 flt.aggregate(group=["key"], aggs={"n": cc.COUNT()}).collect("out", to=[PA])
             cc.compile_query(ctx)
+
+
+def dag_signature(compiled):
+    """Structural fingerprint of a compiled DAG: operator types plus every
+    primitive annotation, ignoring generated relation names and node ids."""
+    signature = []
+    for node in compiled.dag.topological():
+        attrs = {}
+        for key, value in vars(node).items():
+            if key in ("node_id", "out_rel", "parents", "children"):
+                continue
+            attrs[key] = value if isinstance(value, (str, int, float, bool, type(None))) else repr(value)
+        signature.append((type(node).__name__, tuple(sorted(attrs.items()))))
+    return signature
+
+
+def legacy_filter(ctx, t1, t2):
+    return ctx.concat([t1, t2]).filter("value", ">", 25)
+
+
+def modern_filter(ctx, t1, t2):
+    return ctx.concat([t1, t2]).filter(cc.col("value") > 25)
+
+
+def legacy_multiply_scalar(ctx, t1, t2):
+    return ctx.concat([t1, t2]).multiply("double", "value", 2)
+
+
+def modern_multiply_scalar(ctx, t1, t2):
+    return ctx.concat([t1, t2]).with_column("double", cc.col("value") * 2)
+
+
+def legacy_multiply_column(ctx, t1, t2):
+    return ctx.concat([t1, t2]).multiply("prod", "value", "key")
+
+
+def modern_multiply_column(ctx, t1, t2):
+    return ctx.concat([t1, t2]).with_column("prod", cc.col("value") * cc.col("key"))
+
+
+def legacy_divide(ctx, t1, t2):
+    return ctx.concat([t1, t2]).divide("ratio", "value", by="key")
+
+
+def modern_divide(ctx, t1, t2):
+    return ctx.concat([t1, t2]).with_column("ratio", cc.col("value") / cc.col("key"))
+
+
+def legacy_join(ctx, t1, t2):
+    return t1.join(t2, left=["key"], right=["key"])
+
+
+def modern_join(ctx, t1, t2):
+    return t1.join(t2, on="key")
+
+
+def legacy_grouped_aggregate(ctx, t1, t2):
+    return ctx.concat([t1, t2]).aggregate("total", cc.SUM, group=["key"], over="value")
+
+
+def modern_grouped_aggregate(ctx, t1, t2):
+    return ctx.concat([t1, t2]).aggregate(group=["key"], aggs={"total": cc.SUM("value")})
+
+
+def legacy_scalar_aggregate(ctx, t1, t2):
+    return ctx.concat([t1, t2]).aggregate("total", cc.SUM, over="value")
+
+
+def modern_scalar_aggregate(ctx, t1, t2):
+    return ctx.concat([t1, t2]).aggregate(aggs={"total": cc.SUM("value")})
+
+
+#: Every deprecated call shape from the CHANGES.md migration table, paired
+#: with its expression-API equivalent.
+MIGRATION_TABLE = [
+    ("filter", legacy_filter, modern_filter),
+    ("multiply-scalar", legacy_multiply_scalar, modern_multiply_scalar),
+    ("multiply-column", legacy_multiply_column, modern_multiply_column),
+    ("divide", legacy_divide, modern_divide),
+    ("join", legacy_join, modern_join),
+    ("grouped-aggregate", legacy_grouped_aggregate, modern_grouped_aggregate),
+    ("scalar-aggregate", legacy_scalar_aggregate, modern_scalar_aggregate),
+]
+
+
+class TestMigrationTableUnderErrorFilter:
+    """Every legacy shape warns AND lowers to the byte-identical DAG, with
+    DeprecationWarning promoted to an error for everything else."""
+
+    def compile_with(self, build, deprecated: bool):
+        with QueryContext() as ctx:
+            t1 = ctx.new_table("t1", frontend_schema(), at=PA)
+            t2 = ctx.new_table("t2", frontend_schema(), at=PB)
+            if deprecated:
+                with pytest.warns(DeprecationWarning):
+                    handle = build(ctx, t1, t2)
+            else:
+                handle = build(ctx, t1, t2)
+            handle.collect("out", to=[PA])
+        return cc.compile_query(ctx)
+
+    @pytest.mark.parametrize(
+        "name,legacy,modern", MIGRATION_TABLE, ids=[row[0] for row in MIGRATION_TABLE]
+    )
+    def test_legacy_shape_warns_and_lowers_to_identical_dag(self, name, legacy, modern):
+        legacy_compiled = self.compile_with(legacy, deprecated=True)
+        modern_compiled = self.compile_with(modern, deprecated=False)
+        assert dag_signature(legacy_compiled) == dag_signature(modern_compiled)
+        assert legacy_compiled.mpc_operator_count() == modern_compiled.mpc_operator_count()
+
+    @pytest.mark.parametrize(
+        "name,legacy,modern", MIGRATION_TABLE, ids=[row[0] for row in MIGRATION_TABLE]
+    )
+    def test_legacy_and_modern_execute_identically(self, name, legacy, modern):
+        legacy_out = run(lambda ctx, t1, t2: assert_deprecated(lambda: legacy(ctx, t1, t2)))
+        modern_out = run(modern)
+        assert legacy_out.equals_unordered(modern_out)
 
 
 class TestAggFuncConstants:

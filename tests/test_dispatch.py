@@ -127,6 +127,18 @@ class TestEndToEndExecution:
         result = cc.run_query(three_party_sum_query(), inputs)
         assert result.outputs["out"].equals_unordered(reference_sum(inputs))
 
+    def test_reused_runner_does_not_accumulate_leakage(self):
+        """Each run() gets a fresh LeakageReport; earlier results are not
+        mutated by later runs (regression for the executor refactor)."""
+        compiled = cc.compile_query(three_party_sum_query())
+        runner = QueryRunner(PARTY_NAMES, kv_inputs(), CompilationConfig())
+        first = runner.run(compiled)
+        events_after_first = len(first.leakage)
+        second = runner.run(compiled)
+        assert len(first.leakage) == events_after_first
+        assert len(second.leakage) == events_after_first
+        assert first.leakage is not second.leakage
+
 
 class TestSecurityEnforcement:
     def test_unauthorised_reveal_is_blocked(self):

@@ -1,8 +1,9 @@
-"""Tests for the simulated party-to-party network."""
+"""Tests for the party-to-party network and its pluggable transports."""
 
 import pytest
 
 from repro.mpc.network import Network, NetworkStats
+from repro.runtime.transport import Message, SimulatedTransport
 
 
 @pytest.fixture
@@ -98,3 +99,31 @@ def test_stats_merge_and_copy():
     a.merge(b)
     assert (a.messages, a.bytes_sent, a.rounds) == (3, 15, 3)
     assert (c.messages, c.bytes_sent, c.rounds) == (1, 10, 2)
+
+
+class TestTransportAbstraction:
+    def test_default_transport_is_simulated(self, net):
+        assert isinstance(net.transport, SimulatedTransport)
+        assert net.reference_party == "a"
+
+    def test_explicit_simulated_transport_behaves_identically(self):
+        explicit = Network(["a", "b"], transport=SimulatedTransport(["a", "b"]))
+        implicit = Network(["a", "b"])
+        for n in (explicit, implicit):
+            n.send("a", "b", "x", 7)
+            n.barrier()
+        assert explicit.stats == implicit.stats
+        assert explicit.recv("b") == implicit.recv("b") == "x"
+
+    def test_transport_party_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="do not match"):
+            Network(["a", "b"], transport=SimulatedTransport(["a", "c"]))
+
+    def test_transport_pop_returns_messages_in_fifo_order(self):
+        transport = SimulatedTransport(["a", "b"])
+        transport.deliver(Message("a", "b", "first", 1))
+        transport.deliver(Message("a", "b", "second", 1))
+        assert transport.pop("b").payload == "first"
+        assert transport.pop("b", sender="a").payload == "second"
+        with pytest.raises(LookupError):
+            transport.pop("b")
