@@ -14,10 +14,14 @@ Run with::
 
     python examples/quickstart.py [runtime]
 
-where ``runtime`` is ``simulated`` (default) or ``sockets`` — the latter
-executes the same query with one OS process per party, moving all
-cross-party traffic (including the secret-sharing rounds) over real TCP
-sockets, with byte-identical results.
+where ``runtime`` is ``simulated`` (default), ``sockets`` or ``service``:
+
+* ``sockets`` executes the same query with one OS process per party, moving
+  all cross-party traffic (including the secret-sharing rounds) over real
+  TCP sockets, with byte-identical results;
+* ``service`` opens a *persistent session* — the per-party agents and their
+  TCP mesh stay up across queries, so the example submits the plan several
+  times and prints how warm queries amortise the spawn + handshake cost.
 """
 
 import sys
@@ -70,10 +74,25 @@ def main(runtime: str = "simulated"):
     print(compiled.explain())
     print()
 
-    # Execute across the three parties — in-process, or as one OS process
-    # per party with real TCP transport when runtime == "sockets".
+    # Execute across the three parties — in-process, as one OS process per
+    # party with real TCP transport ("sockets"), or over a standing session
+    # of long-lived party agents ("service").
     inputs = generate_inputs(parties)
-    if runtime == "sockets":
+    if runtime == "service":
+        # Open once (agents spawn, mesh connects), submit many times: warm
+        # queries skip process spawn, mesh handshake and plan shipping.
+        import time
+
+        with cc.open_session(inputs) as session:
+            result = None
+            for i in range(3):
+                t0 = time.perf_counter()
+                result = session.submit(compiled)
+                label = "cold (includes plan shipping)" if i == 0 else "warm"
+                print(f"query {i + 1}: {time.perf_counter() - t0:.3f}s  [{label}]")
+            print(f"session stats: {session.stats}")
+        print()
+    elif runtime == "sockets":
         result = cc.SocketCoordinator(parties, inputs).run(compiled)
     else:
         result = cc.QueryRunner(parties, inputs).run(compiled)

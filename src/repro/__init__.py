@@ -41,8 +41,14 @@ Sub-packages:
   cleartext engines.
 * :mod:`repro.runtime` — the distributed party-agent runtime: pluggable
   transports (in-process simulation vs. real TCP sockets between per-party
-  OS processes) and the coordinator/agent execution split.  Pass
-  ``runtime="sockets"`` to :func:`run_query` to use it.
+  OS processes), the coordinator/agent execution split, and the persistent
+  query service.  Pass ``runtime="sockets"`` to :func:`run_query` for a
+  per-query agent mesh, ``runtime="service"`` to reuse a standing one, or
+  hold a session yourself::
+
+      with cc.open_session(inputs) as session:
+          for plan in plans:
+              result = session.submit(plan)
 * :mod:`repro.hybrid` — the hybrid MPC–cleartext protocols (§5.3).
 * :mod:`repro.workloads` — synthetic workload generators for every
   experiment in the paper.
@@ -82,10 +88,14 @@ from repro.core import (
 )
 from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
 from repro.runtime import (
+    QuerySession,
+    SessionClosed,
     SimulatedTransport,
     SocketCoordinator,
     SocketTransport,
     Transport,
+    close_shared_sessions,
+    open_session,
     run_query_sockets,
 )
 
@@ -127,10 +137,14 @@ __all__ = [
     "Table",
     "read_csv",
     "write_csv",
+    "QuerySession",
+    "SessionClosed",
     "SimulatedTransport",
     "SocketCoordinator",
     "SocketTransport",
     "Transport",
+    "close_shared_sessions",
+    "open_session",
     "run_query_sockets",
     "__version__",
 ]

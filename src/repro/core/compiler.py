@@ -148,9 +148,13 @@ def run_query(
     party inside this process over the in-process transport (the default);
     ``"sockets"`` spawns one OS process per party and moves all cross-party
     traffic — including the secret-sharing rounds of the MPC sub-plans —
-    over real TCP connections.  Both produce byte-identical outputs and
-    identical MPC operator counts.  ``timeout`` (sockets only) bounds every
-    blocking socket operation; raise it for long-running queries.
+    over real TCP connections; ``"service"`` does the same over a *standing*
+    per-party agent mesh (shared across calls with the same party set, so
+    spawn + mesh setup are amortised — see
+    :func:`repro.runtime.service.shared_session`).  All three produce
+    byte-identical outputs and identical MPC operator counts.  ``timeout``
+    (sockets/service only) bounds every blocking socket operation; raise it
+    for long-running queries.
     """
     from repro.core.dispatch import QueryRunner
 
@@ -162,8 +166,17 @@ def run_query(
 
         coordinator = SocketCoordinator(parties, inputs, config, seed=seed, timeout=timeout)
         return coordinator.run(compiled)
+    if runtime == "service":
+        from repro.runtime.service import shared_session
+
+        session = shared_session(parties, timeout=timeout)
+        return session.submit(
+            compiled, inputs=inputs, seed=seed, config=config, timeout=timeout + 10
+        )
     if runtime != "simulated":
-        raise ValueError(f"unknown runtime {runtime!r}; use 'simulated' or 'sockets'")
+        raise ValueError(
+            f"unknown runtime {runtime!r}; use 'simulated', 'sockets' or 'service'"
+        )
     runner = QueryRunner(parties, inputs, config, seed=seed)
     return runner.run(compiled)
 

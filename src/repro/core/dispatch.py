@@ -101,7 +101,8 @@ def run_query_from_csv(
     Outputs are returned as tables and, when ``output_dir`` is given, also
     written there as ``<relation>.csv`` (one file per query output).
     ``runtime="sockets"`` runs each party as a separate OS process;
-    ``timeout`` bounds its blocking socket operations.
+    ``runtime="service"`` reuses a standing per-party agent mesh across
+    calls; ``timeout`` bounds their blocking socket operations.
     """
     from pathlib import Path
 
@@ -115,10 +116,19 @@ def run_query_from_csv(
 
         coordinator = SocketCoordinator(parties, inputs, config, seed=seed, timeout=timeout)
         result = coordinator.run(compiled)
+    elif runtime == "service":
+        from repro.runtime.service import shared_session
+
+        session = shared_session(parties, timeout=timeout)
+        result = session.submit(
+            compiled, inputs=inputs, seed=seed, config=config, timeout=timeout + 10
+        )
     elif runtime == "simulated":
         result = QueryRunner(parties, inputs, config, seed=seed).run(compiled)
     else:
-        raise ValueError(f"unknown runtime {runtime!r}; use 'simulated' or 'sockets'")
+        raise ValueError(
+            f"unknown runtime {runtime!r}; use 'simulated', 'sockets' or 'service'"
+        )
     if output_dir is not None:
         for name, table in result.outputs.items():
             write_csv(table, Path(output_dir) / f"{name}.csv")

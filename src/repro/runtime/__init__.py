@@ -18,9 +18,16 @@ shape:
   the in-process :class:`~repro.core.dispatch.QueryRunner` and the
   per-party agents.
 * :mod:`repro.runtime.agent` / :mod:`repro.runtime.coordinator` — the
-  per-party agent process and the driver that partitions the plan, ships
-  each party its sub-plans and input tables, and collects the authorised
-  reveals.
+  long-lived per-party agent process and the driver that partitions the
+  plan, ships each party its sub-plans and input tables, and collects the
+  authorised reveals.
+* :mod:`repro.runtime.service` — the persistent query service:
+  :class:`QuerySession`/:class:`AgentPool` keep the agent processes and the
+  TCP mesh alive across a *stream* of queries (query-id multiplexing,
+  per-session compiled-plan caching, concurrent submission, drain-on-close,
+  idle timeout and crash detection).  :func:`open_session` is the public
+  entry point; ``runtime="service"`` on :func:`repro.core.compiler.run_query`
+  reuses a shared session per party set.
 
 Heavy modules (coordinator, agent, executor) are imported lazily so that
 importing :mod:`repro.mpc.network` (which needs only the transports) does
@@ -49,6 +56,12 @@ __all__ = [
     "PartyAgent",
     "SocketCoordinator",
     "run_query_sockets",
+    "AgentPool",
+    "QuerySession",
+    "SessionClosed",
+    "open_session",
+    "active_sessions",
+    "close_shared_sessions",
 ]
 
 _LAZY = {
@@ -56,6 +69,12 @@ _LAZY = {
     "PartyAgent": ("repro.runtime.agent", "PartyAgent"),
     "SocketCoordinator": ("repro.runtime.coordinator", "SocketCoordinator"),
     "run_query_sockets": ("repro.runtime.coordinator", "run_query_sockets"),
+    "AgentPool": ("repro.runtime.service", "AgentPool"),
+    "QuerySession": ("repro.runtime.service", "QuerySession"),
+    "SessionClosed": ("repro.runtime.service", "SessionClosed"),
+    "open_session": ("repro.runtime.service", "open_session"),
+    "active_sessions": ("repro.runtime.service", "active_sessions"),
+    "close_shared_sessions": ("repro.runtime.service", "close_shared_sessions"),
 }
 
 

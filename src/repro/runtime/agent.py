@@ -1,13 +1,36 @@
 """The per-party agent process of the distributed runtime.
 
-One agent embodies one data-owning party (§4.1): it receives the compiled
-plan and its own input relations from the coordinator over a control socket,
-joins the agent-to-agent TCP mesh, executes its cleartext sub-plans with its
-own backend, ships relations that the plan moves across party boundaries,
-and participates in every MPC sub-plan — the joint secret-sharing protocol
-is executed in lockstep by all agents from the shared seed, with each
-agent's share traffic flowing through its mesh sockets (see
-:mod:`repro.runtime.transport`).
+One agent embodies one data-owning party (§4.1).  Since the query-service
+rework the agent is **long-lived**: it joins the agent-to-agent TCP mesh
+once and then serves a *stream* of queries over its control link — the
+paper's standing data-owning parties answering many analyst queries, with
+process spawn and mesh setup amortised across the stream.
+
+Per query, the agent executes its cleartext sub-plans with its own backend,
+ships relations that the plan moves across party boundaries, and
+participates in every MPC sub-plan — the joint secret-sharing protocol is
+executed in lockstep by all agents from the query's seed, with each agent's
+share traffic flowing through a per-query :class:`~repro.runtime.mesh
+.MeshChannel` of the shared mesh, so frames of concurrent queries
+interleave safely on the same sockets.
+
+Lifecycle and robustness:
+
+* **Plan cache** — compiled plans are cached by DAG fingerprint; the
+  coordinator ships each distinct plan once per session and later
+  submissions reference it by fingerprint only.
+* **Concurrency** — each query runs on its own worker thread (bounded
+  pool); results/errors are framed back on the control link under a send
+  lock, tagged with the query id.
+* **Idle timeout** — an agent whose control link has been silent (and that
+  has no in-flight query) for the session's ``idle_timeout`` announces
+  ``("closing", "idle-timeout")`` and exits.
+* **Drain on shutdown** — a ``shutdown`` frame stops intake, waits for
+  in-flight queries to finish, then exits cleanly.
+* **Loud failure** — a query that raises reports ``("error", qid, ...)`` to
+  the coordinator and (via the executor's abort broadcast) poisons the
+  peers' per-query mesh queues, so every in-flight participant fails fast
+  instead of hanging on a dead exchange.
 
 ``agent_main`` is the process entry point used by
 :class:`~repro.runtime.coordinator.SocketCoordinator`; it is a plain
@@ -18,42 +41,89 @@ multiprocessing start methods.
 from __future__ import annotations
 
 import socket
+import threading
+import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.runtime.mesh import PeerMesh, bind_listener, connect_mesh
 from repro.runtime.wire import recv_frame, send_frame
 
+#: Upper bound on queries one agent executes concurrently.
+AGENT_MAX_WORKERS = 8
+
 
 class PartyAgent:
-    """Executes one party's side of a compiled plan inside its own process."""
+    """Serves one party's side of many compiled plans inside its process."""
 
     def __init__(
         self,
         party: str,
         parties: list[str],
-        inputs: dict,
+        mesh: PeerMesh | None,
+        session_inputs: dict | None = None,
+    ):
+        self.party = party
+        self.parties = list(parties)
+        self.mesh = mesh
+        #: The party's standing input relations, usable by every query of
+        #: the session (a query may override them with its own inputs).
+        self.session_inputs = dict(session_inputs or {})
+        self._plans: dict[str, object] = {}
+        self._plans_lock = threading.Lock()
+
+    # -- plan cache --------------------------------------------------------------------
+
+    def register_plan(self, fingerprint: str, compiled) -> None:
+        with self._plans_lock:
+            self._plans[fingerprint] = compiled
+
+    def plan_for(self, fingerprint: str):
+        with self._plans_lock:
+            try:
+                return self._plans[fingerprint]
+            except KeyError:
+                raise RuntimeError(
+                    f"agent {self.party!r} has no cached plan {fingerprint[:12]}...; "
+                    "the coordinator referenced a plan it never shipped"
+                ) from None
+
+    # -- query execution ---------------------------------------------------------------
+
+    def run_query(
+        self,
+        query_id: int,
+        fingerprint: str,
         config,
         seed: int,
-        mesh: PeerMesh | None,
-    ):
+        inputs: dict | None = None,
+    ) -> dict:
+        """Execute one cached plan and return a picklable result payload.
+
+        A fresh :class:`~repro.runtime.executor.PlanExecutor` (fresh
+        backends, meters and leakage reports) runs every query, exactly as a
+        cold per-query process would — warm sessions amortise spawn and mesh
+        setup, never engine state, so results stay byte-identical.
+        """
         # Imported here (not at module top) so a freshly spawned agent
         # process pays the import cost once, after the fork/spawn settled.
         from repro.runtime.executor import PlanExecutor
 
-        self.party = party
-        self.mesh = mesh
-        self.executor = PlanExecutor(
-            parties,
-            {party: inputs},
+        compiled = self.plan_for(fingerprint)
+        channel = self.mesh.channel(query_id) if self.mesh is not None else None
+        executor = PlanExecutor(
+            self.parties,
+            {self.party: self.session_inputs if inputs is None else inputs},
             config,
             seed=seed,
-            local_parties={party},
-            mesh=mesh,
+            local_parties={self.party},
+            mesh=channel,
         )
-
-    def run(self, compiled) -> dict:
-        """Execute the plan and return a picklable result payload."""
-        outcome = self.executor.execute(compiled)
+        try:
+            outcome = executor.execute(compiled)
+        finally:
+            if channel is not None:
+                channel.close()
         return {
             "party": self.party,
             "outputs": outcome.outputs,
@@ -67,7 +137,7 @@ class PartyAgent:
 
 
 def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
-    """Process entry point: handshake, mesh setup, plan execution."""
+    """Process entry point: handshake, mesh setup, then serve queries."""
     control = socket.create_connection((host, port), timeout=timeout)
     control.settimeout(timeout)
     mesh: PeerMesh | None = None
@@ -75,10 +145,11 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
     try:
         send_frame(control, ("hello", party))
         tag, bundle = recv_frame(control)
-        if tag != "plan":
-            raise RuntimeError(f"agent {party!r} expected a plan frame, got {tag!r}")
+        if tag != "session":
+            raise RuntimeError(f"agent {party!r} expected a session frame, got {tag!r}")
         parties = bundle["parties"]
         run_timeout = bundle.get("timeout", timeout)
+        idle_timeout = bundle.get("idle_timeout")
 
         # Deterministic port assignment: bind an ephemeral port (the OS
         # picks a free one) and let the coordinator broadcast the map.
@@ -89,14 +160,12 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
             raise RuntimeError(f"agent {party!r} expected a peers frame, got {tag!r}")
         mesh = connect_mesh(party, parties, ports, listener, timeout=run_timeout)
 
-        agent = PartyAgent(
-            party, parties, bundle["inputs"], bundle["config"], bundle["seed"], mesh,
-        )
-        payload = agent.run(bundle["compiled"])
-        send_frame(control, ("result", payload))
+        agent = PartyAgent(party, parties, mesh, session_inputs=bundle.get("inputs"))
+        send_frame(control, ("ready", None))
+        _serve(agent, control, run_timeout, idle_timeout)
     except BaseException as exc:  # noqa: BLE001 - everything must reach the coordinator
         try:
-            send_frame(control, ("error", _picklable(exc), traceback.format_exc()))
+            send_frame(control, ("fatal", _picklable(exc), traceback.format_exc()))
         except Exception:
             pass
     finally:
@@ -111,6 +180,90 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
             control.close()
         except OSError:
             pass
+
+
+def _serve(
+    agent: PartyAgent,
+    control: socket.socket,
+    timeout: float,
+    idle_timeout: float | None,
+) -> None:
+    """The agent's query-serving loop (runs until shutdown/idle/EOF)."""
+    send_lock = threading.Lock()
+    in_flight: set[int] = set()
+    state_lock = threading.Lock()
+    last_activity = time.monotonic()
+    pool = ThreadPoolExecutor(
+        max_workers=AGENT_MAX_WORKERS, thread_name_prefix=f"agent-query-{agent.party}"
+    )
+
+    def reply(frame: tuple) -> None:
+        with send_lock:
+            send_frame(control, frame)
+
+    def run_one(query_id: int, fingerprint: str, config, seed: int, inputs) -> None:
+        nonlocal last_activity
+        try:
+            payload = agent.run_query(query_id, fingerprint, config, seed, inputs)
+            frame = ("result", query_id, payload)
+        except BaseException as exc:  # noqa: BLE001 - ship the error to the driver
+            frame = ("error", query_id, _picklable(exc), traceback.format_exc())
+        with state_lock:
+            in_flight.discard(query_id)
+            last_activity = time.monotonic()
+        try:
+            reply(frame)
+        except Exception as exc:  # noqa: BLE001
+            # The frame could not be encoded (e.g. result over the frame
+            # cap, unpicklable output) or sent.  An encode failure leaves
+            # the link healthy, so the coordinator would wait forever —
+            # ship an error frame in its place; if the link itself is dead,
+            # this fails too and the coordinator's EOF handling takes over.
+            try:
+                reply(("error", query_id, _picklable(exc), traceback.format_exc()))
+            except Exception:  # noqa: BLE001 - coordinator gone
+                pass
+
+    # Between frames the control link may sit idle arbitrarily long (that
+    # is the point of a standing service); the socket timeout is only the
+    # tick at which the idle policy is evaluated.
+    control.settimeout(idle_timeout if idle_timeout is not None else timeout)
+    try:
+        while True:
+            try:
+                frame = recv_frame(control, allow_idle_timeout=True)
+            except TimeoutError:
+                if idle_timeout is None:
+                    continue
+                with state_lock:
+                    idle = not in_flight and time.monotonic() - last_activity >= idle_timeout
+                if idle:
+                    reply(("closing", "idle-timeout"))
+                    return
+                continue
+            tag = frame[0]
+            with state_lock:
+                last_activity = time.monotonic()
+            if tag == "shutdown":
+                # Drain: finish every in-flight query, then confirm.
+                pool.shutdown(wait=True)
+                pool = None
+                reply(("closing", "shutdown"))
+                return
+            if tag != "query":
+                raise RuntimeError(f"agent {agent.party!r} received unknown frame {tag!r}")
+            job = frame[1]
+            if job.get("compiled") is not None:
+                agent.register_plan(job["fingerprint"], job["compiled"])
+            with state_lock:
+                in_flight.add(job["query_id"])
+            pool.submit(
+                run_one, job["query_id"], job["fingerprint"], job["config"],
+                job["seed"], job.get("inputs"),
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 def _picklable(exc: BaseException) -> BaseException:

@@ -2,49 +2,37 @@
 
 The coordinator is Conclave's query driver (§4.1): it takes a compiled plan
 (already partitioned into per-backend sub-plans by
-:func:`repro.core.partition.partition_dag`), spawns one agent OS process per
-party, ships each agent the plan plus *only that party's* input tables over
-a control socket, brokers the agent-to-agent mesh handshake (every agent
-binds an ephemeral port and the coordinator broadcasts the port map), and
-finally collects the authorised reveals, per-node timings, leakage reports
-and MPC profiles back into a single
-:class:`~repro.core.dispatch.QueryResult`.
+:func:`repro.core.partition.partition_dag`) and executes it across one agent
+OS process per party.  Since the query-service rework the heavy lifting
+lives in :mod:`repro.runtime.service`: :class:`SocketCoordinator.run` is the
+degenerate single-query session — open a :class:`~repro.runtime.service
+.QuerySession` (spawn agents, broker the mesh handshake), submit once, close
+— while :meth:`SocketCoordinator.open_session` hands out the long-lived
+session for query streams, amortising spawn + mesh setup.
 
 Process hygiene: agent processes are daemonic, tracked in a module-level
-registry (so test fixtures can kill leaks), and terminated in a ``finally``
-block; every blocking socket operation carries a timeout so a wedged or
+registry (so test fixtures can kill leaks), and reaped when their pool
+closes; every blocking socket operation carries a timeout so a wedged or
 crashed agent surfaces as an error instead of hanging the driver.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import socket
 import time
 
 from repro.core.config import CompilationConfig
-from repro.hybrid.stp import LeakageReport
-from repro.runtime.agent import agent_main
-from repro.runtime.executor import completion_seconds
-from repro.runtime.mesh import bind_listener
-from repro.runtime.transport import TransportError
-from repro.runtime.wire import WireError, recv_frame, send_frame
-
-#: Live agent processes, for leak-hunting test fixtures.
-_ACTIVE_PROCESSES: "set[multiprocessing.process.BaseProcess]" = set()
-
-
-def active_agent_processes() -> list:
-    """Agent processes started by any coordinator that are still alive."""
-    return [p for p in list(_ACTIVE_PROCESSES) if p.is_alive()]
-
-
-class AgentFailure(RuntimeError):
-    """An agent process failed without a reconstructable exception."""
+from repro.runtime.service import (  # noqa: F401 - re-exported for compatibility
+    AgentFailure,
+    QuerySession,
+    SessionClosed,
+    active_agent_processes,
+    active_sessions,
+    merge_payloads,
+)
 
 
 class SocketCoordinator:
-    """Runs a compiled query with one OS process per party over TCP."""
+    """Runs compiled queries with one OS process per party over TCP."""
 
     def __init__(
         self,
@@ -63,183 +51,43 @@ class SocketCoordinator:
         self.timeout = timeout
         self.start_method = start_method
 
-    # -- lifecycle ----------------------------------------------------------------------
+    def open_session(self, *, idle_timeout: float | None = None) -> QuerySession:
+        """Open a persistent session over this coordinator's parties/inputs."""
+        return QuerySession(
+            self.parties,
+            inputs=self.inputs,
+            config=self.config,
+            seed=self.seed,
+            timeout=self.timeout,
+            idle_timeout=idle_timeout,
+            start_method=self.start_method,
+        )
 
     def run(self, compiled):
-        """Execute ``compiled`` across per-party agent processes."""
+        """Execute ``compiled`` across per-party agent processes (cold spawn:
+        agents live exactly as long as this one query)."""
         from repro.core.dispatch import QueryResult
 
         wall_start = time.perf_counter()
-        ctx = multiprocessing.get_context(self.start_method)
-        listener = bind_listener(self.timeout)
-        port = listener.getsockname()[1]
-        processes: dict[str, multiprocessing.process.BaseProcess] = {}
-        connections: dict[str, socket.socket] = {}
-        try:
-            for party in self.parties:
-                proc = ctx.Process(
-                    target=agent_main,
-                    args=(party, "127.0.0.1", port, self.timeout),
-                    daemon=True,
-                    name=f"conclave-agent-{party}",
-                )
-                proc.start()
-                processes[party] = proc
-                _ACTIVE_PROCESSES.add(proc)
-
-            connections = self._accept_agents(listener)
-            for party, sock in connections.items():
-                send_frame(sock, ("plan", {
-                    "parties": self.parties,
-                    "compiled": compiled,
-                    "config": self.config,
-                    "seed": self.seed,
-                    "inputs": self.inputs.get(party, {}),
-                    "timeout": self.timeout,
-                }))
-
-            ports = {}
-            for party, sock in connections.items():
-                ports[party] = self._expect(party, sock, "ports")
-            for sock in connections.values():
-                send_frame(sock, ("peers", ports))
-
-            payloads = self._gather_results(connections)
-        finally:
-            for sock in connections.values():
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-            try:
-                listener.close()
-            except OSError:
-                pass
-            self._reap(processes)
-
-        merged = self._merge(compiled, payloads)
-        merged.wall_seconds = time.perf_counter() - wall_start
-        assert isinstance(merged, QueryResult)
-        return merged
-
-    # -- handshake / collection ------------------------------------------------------------
-
-    def _accept_agents(self, listener: socket.socket) -> dict[str, socket.socket]:
-        connections: dict[str, socket.socket] = {}
-        for _ in self.parties:
-            try:
-                sock, _addr = listener.accept()
-            except (socket.timeout, OSError) as exc:
-                raise AgentFailure(
-                    f"timed out waiting for agents to connect; got {sorted(connections)} "
-                    f"of {self.parties}"
-                ) from exc
-            sock.settimeout(self.timeout + 10)
-            tag, party = recv_frame(sock)
-            if tag != "hello" or party not in self.parties or party in connections:
-                raise AgentFailure(f"malformed agent hello: {(tag, party)!r}")
-            connections[party] = sock
-        return connections
-
-    def _expect(self, party: str, sock: socket.socket, expected_tag: str):
-        frame = recv_frame(sock)
-        tag, *rest = frame
-        if tag == "error":
-            raise self._agent_error(party, rest)
-        if tag != expected_tag:
-            raise AgentFailure(f"agent {party!r} sent {tag!r}, expected {expected_tag!r}")
-        return rest[0]
-
-    def _gather_results(self, connections: dict[str, socket.socket]) -> dict[str, dict]:
-        payloads: dict[str, dict] = {}
-        errors: list[tuple[str, BaseException]] = []
-        for party, sock in connections.items():
-            try:
-                tag, *rest = recv_frame(sock)
-            except (WireError, socket.timeout, OSError) as exc:
-                errors.append((party, AgentFailure(f"agent {party!r} died: {exc}")))
-                continue
-            if tag == "error":
-                errors.append((party, self._agent_error(party, rest)))
-            elif tag == "result":
-                payloads[party] = rest[0]
-            else:
-                errors.append((party, AgentFailure(f"agent {party!r} sent {tag!r}")))
-        if errors:
-            # Prefer the root cause: an agent that hit a real error over one
-            # that merely timed out waiting for the failed peer.
-            primary = next(
-                (err for _, err in errors if not isinstance(err, (TransportError, AgentFailure))),
-                errors[0][1],
-            )
-            raise primary
-        return payloads
-
-    def _agent_error(self, party: str, rest: list) -> BaseException:
-        exc, tb = rest
-        if isinstance(exc, BaseException):
-            exc.__cause__ = AgentFailure(f"raised in agent {party!r}:\n{tb}")
-            return exc
-        return AgentFailure(f"agent {party!r} failed:\n{tb}")
-
-    def _reap(self, processes: dict) -> None:
-        for proc in processes.values():
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
-            _ACTIVE_PROCESSES.discard(proc)
-
-    # -- result merging ----------------------------------------------------------------------
-
-    def _merge(self, compiled, payloads: dict[str, dict]):
-        from repro.core.dispatch import QueryResult
-
-        lead = self.parties[0]
-
-        # Per-node durations: local nodes are reported by their executing
-        # agent, joint nodes identically by every agent — max merges both.
-        durations: dict[int, float] = {}
-        for payload in payloads.values():
-            for node_id, seconds in payload["node_durations"].items():
-                durations[node_id] = max(durations.get(node_id, 0.0), seconds)
-
-        # Each output comes from the first recipient that materialised it.
-        outputs: dict[str, "object"] = {}
-        for node in compiled.dag.outputs():
-            name = node.out_rel.name
-            for party in [*node.recipients, *self.parties]:
-                payload = payloads.get(party)
-                if payload is not None and name in payload["outputs"]:
-                    outputs[name] = payload["outputs"][name]
-                    break
-
-        leakage = LeakageReport()
-        for party in self.parties:
-            leakage.events.extend(payloads[party]["leakage"].events)
-        # Joint (replicated) events are identical at every agent; take the
-        # lead agent's copy once.
-        leakage.events.extend(payloads[lead]["joint_leakage"].events)
-
-        backend_seconds: dict[str, float] = {}
-        for party in self.parties:
-            mine = payloads[party]["backend_seconds"]
-            key = f"local:{party}"
-            if key in mine:
-                backend_seconds[key] = mine[key]
-        for key, value in payloads[lead]["backend_seconds"].items():
-            if key.startswith("mpc:") or key not in backend_seconds:
-                backend_seconds.setdefault(key, value)
-
-        return QueryResult(
-            outputs=outputs,
-            simulated_seconds=completion_seconds(compiled.dag, durations),
-            wall_seconds=0.0,  # overwritten by run()
-            leakage=leakage,
-            backend_seconds=backend_seconds,
-            mpc_profile=payloads[lead]["mpc_profile"],
-            runtime="sockets",
+        session = QuerySession(
+            self.parties,
+            inputs=self.inputs,
+            config=self.config,
+            seed=self.seed,
+            timeout=self.timeout,
+            start_method=self.start_method,
+            runtime_label="sockets",
         )
+        try:
+            # Bound the wait like the pre-service coordinator's result read
+            # did (socket timeout + slack): a wedged agent is an error, not
+            # a hang.
+            result = session.submit(compiled, timeout=self.timeout + 10)
+        finally:
+            session.close()
+        result.wall_seconds = time.perf_counter() - wall_start
+        assert isinstance(result, QueryResult)
+        return result
 
 
 def run_query_sockets(

@@ -179,11 +179,24 @@ class PlanExecutor:
         all_parties = set(self.parties) | dag.parties()
 
         wall_start = time.perf_counter()
-        for node in dag.topological():
-            before = self._engine_seconds()
-            entry = self._execute_node(node, env, outputs, all_parties)
-            env[node.out_rel.name] = entry
-            durations[node.node_id] = self._engine_seconds() - before
+        try:
+            for node in dag.topological():
+                before = self._engine_seconds()
+                entry = self._execute_node(node, env, outputs, all_parties)
+                env[node.out_rel.name] = entry
+                durations[node.node_id] = self._engine_seconds() - before
+        except BaseException as exc:
+            # Distributed lockstep: peers may be blocked waiting for this
+            # executor's next frame.  Broadcast an abort for this query so
+            # their reads fail immediately instead of running out the mesh
+            # timeout — a failed query must surface loudly everywhere, fast.
+            abort = getattr(self.mesh, "abort", None)
+            if abort is not None:
+                try:
+                    abort(f"{type(exc).__name__}: {exc}")
+                except Exception:  # noqa: BLE001 - the original error wins
+                    pass
+            raise
         wall_seconds = time.perf_counter() - wall_start
 
         return ExecutionOutcome(

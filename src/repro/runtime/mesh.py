@@ -7,16 +7,29 @@ back.  The mesh is then established deterministically: agent *i* dials every
 agent *j < i* (in the shared party order) and introduces itself with a hello
 frame, so both ends agree on which party each connection belongs to.
 
-Each connection gets a reader thread that demultiplexes incoming frames by
-kind into per-peer FIFO queues:
+The mesh is **multiplexed by query id** so one set of TCP connections can
+carry many queries — including concurrent ones — for a long-lived agent.
+Every frame is ``(kind, query_id, payload)`` and each connection has one
+reader thread demultiplexing frames into per-``(kind, query id, peer)`` FIFO
+queues:
 
 * ``msg``   — engine-level protocol messages (share exchanges) consumed by
   :class:`~repro.runtime.transport.SocketTransport`;
 * ``table`` — whole relations shipped between sub-plans (a party's input
-  entering MPC, or an authorised cleartext transfer).
+  entering MPC, or an authorised cleartext transfer);
+* ``abort`` — a peer's execution of that query failed; all queues of the
+  ``(peer, query id)`` pair are poisoned so blocked readers fail
+  immediately instead of running out their timeout.
+
+Executors never touch the mesh directly: :meth:`PeerMesh.channel` returns a
+:class:`MeshChannel` — a view bound to one query id with the classic
+``send_message``/``receive_table`` interface — so concurrent queries
+interleave safely on the shared sockets.
 
 All blocking reads carry a timeout, so a crashed peer surfaces as a
-:class:`MeshTimeout` instead of a wedged process.
+:class:`MeshTimeout` instead of a wedged process; a peer whose connection
+*dies* poisons every existing and future queue for that peer, so in-flight
+and not-yet-started reads fail loudly.
 """
 
 from __future__ import annotations
@@ -33,7 +46,12 @@ from repro.runtime.wire import WireError, recv_frame, send_frame
 
 KIND_MSG = "msg"
 KIND_TABLE = "table"
-_KINDS = (KIND_MSG, KIND_TABLE)
+KIND_ABORT = "abort"
+_DATA_KINDS = (KIND_MSG, KIND_TABLE)
+
+#: Query id used by single-query runs (and any caller that never asks for an
+#: explicit channel).
+DEFAULT_QUERY_ID = 0
 
 #: How long an agent keeps retrying to dial a peer that has announced its
 #: port but may not have reached ``accept`` yet.
@@ -46,9 +64,18 @@ class MeshTimeout(TransportError):
 
 @dataclass
 class _PeerClosed:
-    """Sentinel queued when a peer connection dies."""
+    """Sentinel queued when a peer connection dies (poisons every query)."""
 
     error: Exception
+
+
+@dataclass
+class _QueryAborted:
+    """Sentinel queued when a peer aborts one query (other queries live on)."""
+
+    peer: str
+    query_id: int
+    reason: str
 
 
 class PeerMesh:
@@ -59,9 +86,20 @@ class PeerMesh:
         self.timeout = timeout
         self._socks = dict(connections)
         self._send_locks = {p: threading.Lock() for p in self._socks}
-        self._queues: dict[str, dict[str, queue.Queue]] = {
-            kind: {p: queue.Queue() for p in self._socks} for kind in _KINDS
-        }
+        # (kind, query_id, peer) -> FIFO queue, created lazily under _lock.
+        self._lock = threading.Lock()
+        self._queues: dict[tuple[str, int, str], queue.Queue] = {}
+        self._peer_errors: dict[str, Exception] = {}
+        self._aborted: dict[tuple[str, int], str] = {}
+        # Query ids whose channels were released: late frames (a peer racing
+        # an abort, say) are dropped instead of re-creating queues that
+        # nothing would ever drain — a long-lived mesh must not accumulate
+        # garbage per finished query.  Coordinators allocate ids
+        # contiguously from 1, so the set compacts against a low-watermark
+        # (every id <= watermark is released) and stays bounded by the
+        # number of concurrently in-flight queries.
+        self._released: set[int] = set()
+        self._released_watermark = 0
         self._closed = False
         self._readers = []
         for peer, sock in self._socks.items():
@@ -76,7 +114,43 @@ class PeerMesh:
     def peers(self) -> set[str]:
         return set(self._socks)
 
+    def channel(self, query_id: int) -> "MeshChannel":
+        """A view of the mesh carrying exactly one query's frames."""
+        return MeshChannel(self, query_id)
+
     # -- frame plumbing ----------------------------------------------------------------
+
+    def _queue_for(self, kind: str, query_id: int, peer: str) -> queue.Queue:
+        key = (kind, query_id, peer)
+        with self._lock:
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.Queue()
+                # A queue born after the peer died (or after it aborted this
+                # query) must fail its readers too, not wait out the timeout.
+                if peer in self._peer_errors:
+                    q.put(_PeerClosed(self._peer_errors[peer]))
+                elif (peer, query_id) in self._aborted:
+                    q.put(_QueryAborted(peer, query_id, self._aborted[(peer, query_id)]))
+            return q
+
+    def _is_released(self, query_id: int) -> bool:
+        """Caller must hold ``_lock``."""
+        return 0 < query_id <= self._released_watermark or query_id in self._released
+
+    def _queue_for_frame(self, kind: str, query_id: int, peer: str) -> queue.Queue | None:
+        """The reader-side twin of :meth:`_queue_for`: ``None`` for released
+        queries.  The released check and the queue creation share one lock
+        acquisition, so a frame racing :meth:`release_query` can never
+        resurrect a queue nothing will drain."""
+        with self._lock:
+            if self._is_released(query_id):
+                return None
+            key = (kind, query_id, peer)
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.Queue()
+            return q
 
     def _read_loop(self, peer: str, sock: socket.socket) -> None:
         # Catch *everything*: a malformed frame (wrong tuple shape, unknown
@@ -85,68 +159,119 @@ class PeerMesh:
         # root-cause-free MeshTimeout.
         try:
             while True:
-                frame = recv_frame(sock)
                 try:
-                    kind, payload = frame
-                    queue_for_peer = self._queues[kind][peer]
-                except (TypeError, ValueError, KeyError):
+                    # A long-lived mesh is idle between queries; a timeout
+                    # with no frame started is not an error.  (Timeouts on
+                    # blocked *consumers* are enforced by queue.get.)
+                    frame = recv_frame(sock, allow_idle_timeout=True)
+                except TimeoutError:
+                    continue
+                try:
+                    kind, query_id, payload = frame
+                    if kind not in _DATA_KINDS and kind != KIND_ABORT:
+                        raise ValueError(kind)
+                except (TypeError, ValueError):
                     raise WireError(
                         f"malformed mesh frame from {peer!r}: {type(frame).__name__}"
                     ) from None
-                queue_for_peer.put(payload)
+                if kind == KIND_ABORT:
+                    self._mark_aborted(peer, query_id, payload)
+                    continue
+                q = self._queue_for_frame(kind, query_id, peer)
+                if q is not None:  # None: query released; drop the late frame
+                    q.put(payload)
         except Exception as exc:  # noqa: BLE001 - reader thread must never die silently
-            for kind in _KINDS:
-                self._queues[kind][peer].put(_PeerClosed(exc))
+            self._mark_peer_closed(peer, exc)
 
-    def _send(self, peer: str, kind: str, payload: Any) -> None:
+    def _mark_peer_closed(self, peer: str, exc: Exception) -> None:
+        with self._lock:
+            self._peer_errors[peer] = exc
+            existing = [q for (k, _qid, p), q in self._queues.items()
+                        if p == peer and k in _DATA_KINDS]
+        for q in existing:
+            q.put(_PeerClosed(exc))
+
+    def _mark_aborted(self, peer: str, query_id: int, reason: str) -> None:
+        with self._lock:
+            if self._is_released(query_id):
+                return  # late abort for a finished query: nothing to poison
+            self._aborted[(peer, query_id)] = reason
+            existing = [q for (k, qid, p), q in self._queues.items()
+                        if p == peer and qid == query_id and k in _DATA_KINDS]
+        for q in existing:
+            q.put(_QueryAborted(peer, query_id, reason))
+
+    def _send(self, peer: str, kind: str, query_id: int, payload: Any) -> None:
         try:
             sock = self._socks[peer]
         except KeyError:
             raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
         with self._send_locks[peer]:
-            send_frame(sock, (kind, payload))
+            send_frame(sock, (kind, query_id, payload))
 
-    def _receive(self, peer: str, kind: str) -> Any:
+    def _receive(self, peer: str, kind: str, query_id: int) -> Any:
+        if peer not in self._socks:
+            raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}")
+        q = self._queue_for(kind, query_id, peer)
         try:
-            item = self._queues[kind][peer].get(timeout=self.timeout)
-        except KeyError:
-            raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
+            item = q.get(timeout=self.timeout)
         except queue.Empty:
             raise MeshTimeout(
                 f"agent {self.party!r} timed out after {self.timeout:.0f}s waiting for a "
-                f"{kind!r} frame from {peer!r}"
+                f"{kind!r} frame from {peer!r} (query {query_id})"
             ) from None
         if isinstance(item, _PeerClosed):
+            q.put(item)  # keep poisoning later readers of the same queue
             raise TransportError(
                 f"mesh link {self.party!r} <- {peer!r} closed: {item.error}"
             ) from item.error
+        if isinstance(item, _QueryAborted):
+            q.put(item)
+            raise TransportError(
+                f"peer {peer!r} aborted query {query_id}: {item.reason}"
+            )
         return item
 
-    # -- engine-level messages -----------------------------------------------------------
+    def send_abort(self, query_id: int, reason: str) -> None:
+        """Tell every peer this agent's execution of ``query_id`` failed."""
+        for peer in sorted(self._socks):
+            try:
+                self._send(peer, KIND_ABORT, query_id, reason)
+            except (TransportError, WireError):
+                pass  # the peer is gone; its death already poisons our queues
+
+    def release_query(self, query_id: int) -> None:
+        """Drop the per-query queues and abort marks once a query finished;
+        late frames for the id are discarded from then on."""
+        with self._lock:
+            self._released.add(query_id)
+            # Compact: ids are contiguous, so advance the watermark over any
+            # now-contiguous prefix and drop those ids from the set.
+            while self._released_watermark + 1 in self._released:
+                self._released_watermark += 1
+                self._released.discard(self._released_watermark)
+            for key in [k for k in self._queues if k[1] == query_id]:
+                del self._queues[key]
+            for key in [k for k in self._aborted if k[1] == query_id]:
+                del self._aborted[key]
+
+    # -- default-channel compatibility shims ---------------------------------------------
 
     def send_message(self, peer: str, message: tuple) -> None:
-        self._send(peer, KIND_MSG, message)
+        self._send(peer, KIND_MSG, DEFAULT_QUERY_ID, message)
 
     def receive_message(self, peer: str) -> tuple:
-        return self._receive(peer, KIND_MSG)
-
-    # -- relation shipping ----------------------------------------------------------------
+        return self._receive(peer, KIND_MSG, DEFAULT_QUERY_ID)
 
     def send_table(self, peer: str, relation: str, table) -> None:
-        self._send(peer, KIND_TABLE, (relation, table))
+        self._send(peer, KIND_TABLE, DEFAULT_QUERY_ID, (relation, table))
 
     def broadcast_table(self, relation: str, table) -> None:
         for peer in sorted(self._socks):
             self.send_table(peer, relation, table)
 
     def receive_table(self, peer: str, relation: str):
-        got_relation, table = self._receive(peer, KIND_TABLE)
-        if got_relation != relation:
-            raise TransportError(
-                f"agent {self.party!r} expected relation {relation!r} from {peer!r} "
-                f"but received {got_relation!r}; the party processes have diverged"
-            )
-        return table
+        return self.channel(DEFAULT_QUERY_ID).receive_table(peer, relation)
 
     def close(self) -> None:
         if self._closed:
@@ -161,6 +286,62 @@ class PeerMesh:
                 sock.close()
             except OSError:
                 pass
+
+
+class MeshChannel:
+    """One query's view of a :class:`PeerMesh`.
+
+    Exposes the exact send/receive surface executors and transports use, so
+    a channel is a drop-in ``mesh`` wherever a whole :class:`PeerMesh` was
+    accepted before multiplexing existed.  Closing a channel releases its
+    per-query queues but leaves the shared sockets open for other queries.
+    """
+
+    def __init__(self, mesh: PeerMesh, query_id: int):
+        self._mesh = mesh
+        self.query_id = query_id
+
+    @property
+    def party(self) -> str:
+        return self._mesh.party
+
+    @property
+    def peers(self) -> set[str]:
+        return self._mesh.peers
+
+    @property
+    def timeout(self) -> float:
+        return self._mesh.timeout
+
+    def send_message(self, peer: str, message: tuple) -> None:
+        self._mesh._send(peer, KIND_MSG, self.query_id, message)
+
+    def receive_message(self, peer: str) -> tuple:
+        return self._mesh._receive(peer, KIND_MSG, self.query_id)
+
+    def send_table(self, peer: str, relation: str, table) -> None:
+        self._mesh._send(peer, KIND_TABLE, self.query_id, (relation, table))
+
+    def broadcast_table(self, relation: str, table) -> None:
+        for peer in sorted(self.peers):
+            self.send_table(peer, relation, table)
+
+    def receive_table(self, peer: str, relation: str):
+        got_relation, table = self._mesh._receive(peer, KIND_TABLE, self.query_id)
+        if got_relation != relation:
+            raise TransportError(
+                f"agent {self.party!r} expected relation {relation!r} from {peer!r} "
+                f"but received {got_relation!r}; the party processes have diverged"
+            )
+        return table
+
+    def abort(self, reason: str) -> None:
+        """Broadcast that this agent's execution of the query failed."""
+        self._mesh.send_abort(self.query_id, reason)
+
+    def close(self) -> None:
+        """Release the per-query queues; the mesh sockets stay open."""
+        self._mesh.release_query(self.query_id)
 
 
 def bind_listener(timeout: float) -> socket.socket:

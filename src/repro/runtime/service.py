@@ -1,0 +1,767 @@
+"""The persistent query service: long-lived agent pools and query sessions.
+
+The paper's deployment model is *standing* data-owning parties answering a
+stream of analyst queries.  The first socket runtime spawned a fresh agent
+mesh per query, so spawn + handshake dominated latency; this module keeps
+the :class:`~repro.runtime.agent.PartyAgent` processes alive across queries:
+
+* :class:`AgentPool` — the process/socket substrate: spawns one agent OS
+  process per party, brokers the mesh handshake **once**, then keeps the
+  control links open, routing result/error frames (tagged by query id) from
+  per-party receiver threads into per-query futures.  A control link that
+  dies marks the pool broken and fails every in-flight query loudly.
+* :class:`QuerySession` — the analyst-facing handle: ``submit(plan)`` many
+  times (thread-safe, concurrently), per-session compiled-plan caching
+  keyed by DAG fingerprint (each distinct plan is pickled and shipped once),
+  and a graceful lifecycle (context manager, drain-on-close, optional idle
+  timeout after which the agents retire themselves).
+
+Single-query execution (``runtime="sockets"``) is the degenerate case: the
+coordinator opens a session, submits once, and closes — so both paths share
+one protocol and one set of tests.  ``runtime="service"`` reuses a shared
+session per party set via :func:`shared_session`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing
+import pickle
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.config import CompilationConfig
+from repro.runtime.agent import agent_main
+from repro.runtime.mesh import bind_listener
+from repro.runtime.transport import TransportError
+from repro.runtime.wire import WireError, encode_frame, recv_frame, send_frame
+
+#: Live agent processes, for leak-hunting test fixtures.
+_ACTIVE_PROCESSES: "set[multiprocessing.process.BaseProcess]" = set()
+
+#: Open sessions, for leak-hunting test fixtures and atexit cleanup.
+_ACTIVE_SESSIONS: "set[QuerySession]" = set()
+
+
+def active_agent_processes() -> list:
+    """Agent processes started by any pool/coordinator that are still alive."""
+    return [p for p in list(_ACTIVE_PROCESSES) if p.is_alive()]
+
+
+def active_sessions() -> list:
+    """Sessions opened anywhere in the process that are still open."""
+    return [s for s in list(_ACTIVE_SESSIONS) if not s.closed]
+
+
+class AgentFailure(RuntimeError):
+    """An agent process failed without a reconstructable exception."""
+
+
+class SessionClosed(RuntimeError):
+    """The session can no longer accept queries (closed, idle, or broken)."""
+
+
+def plan_fingerprint(compiled) -> str:
+    """A stable fingerprint of a compiled plan, for per-session caching.
+
+    Computed over the plan's pickled bytes: resubmitting the *same* compiled
+    object (the intended reuse pattern — compile once, submit many) always
+    hits the cache, and two plans with different DAGs can never collide.  A
+    plan recompiled from scratch may fingerprint differently — that costs a
+    redundant plan shipment, never a wrong cache hit.
+
+    Memoized on the compiled object so the warm path ("submit many") never
+    re-pickles the plan just to hash it.
+    """
+    cached = getattr(compiled, "_plan_fingerprint", None)
+    if cached is not None:
+        return cached
+    fingerprint = hashlib.sha256(
+        pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+    try:
+        compiled._plan_fingerprint = fingerprint
+    except AttributeError:
+        pass  # slotted/frozen plan object: hash again next time
+    return fingerprint
+
+
+def merge_payloads(compiled, parties: list[str], payloads: dict[str, dict]):
+    """Merge per-agent result payloads into one QueryResult.
+
+    Used by every socket-runtime path: per-node durations max-merge (local
+    nodes are reported by their executing agent, joint nodes identically by
+    every agent), each output comes from the first recipient that
+    materialised it, per-party leakage concatenates while joint (replicated)
+    events are taken once from the lead agent.
+    """
+    from repro.core.dispatch import QueryResult
+    from repro.hybrid.stp import LeakageReport
+    from repro.runtime.executor import completion_seconds
+
+    lead = parties[0]
+
+    durations: dict[int, float] = {}
+    for payload in payloads.values():
+        for node_id, seconds in payload["node_durations"].items():
+            durations[node_id] = max(durations.get(node_id, 0.0), seconds)
+
+    outputs: dict[str, object] = {}
+    for node in compiled.dag.outputs():
+        name = node.out_rel.name
+        for party in [*node.recipients, *parties]:
+            payload = payloads.get(party)
+            if payload is not None and name in payload["outputs"]:
+                outputs[name] = payload["outputs"][name]
+                break
+
+    leakage = LeakageReport()
+    for party in parties:
+        leakage.events.extend(payloads[party]["leakage"].events)
+    leakage.events.extend(payloads[lead]["joint_leakage"].events)
+
+    backend_seconds: dict[str, float] = {}
+    for party in parties:
+        mine = payloads[party]["backend_seconds"]
+        key = f"local:{party}"
+        if key in mine:
+            backend_seconds[key] = mine[key]
+    for key, value in payloads[lead]["backend_seconds"].items():
+        if key.startswith("mpc:") or key not in backend_seconds:
+            backend_seconds.setdefault(key, value)
+
+    return QueryResult(
+        outputs=outputs,
+        simulated_seconds=completion_seconds(compiled.dag, durations),
+        wall_seconds=0.0,  # stamped by the caller
+        leakage=leakage,
+        backend_seconds=backend_seconds,
+        mpc_profile=payloads[lead]["mpc_profile"],
+        runtime="sockets",
+    )
+
+
+@dataclass
+class _PendingQuery:
+    """Coordinator-side state of one in-flight query."""
+
+    remaining: set[str]
+    payloads: dict[str, dict] = field(default_factory=dict)
+    errors: list[BaseException] = field(default_factory=list)
+    future: Future = field(default_factory=Future)
+
+    def finish(self) -> None:
+        if self.future.done():
+            return
+        if self.errors:
+            # Prefer the root cause: an agent that hit a real error over one
+            # that merely saw the failed peer's abort or timed out on it.
+            primary = next(
+                (e for e in self.errors if not isinstance(e, (TransportError, AgentFailure))),
+                self.errors[0],
+            )
+            self.future.set_exception(primary)
+        else:
+            self.future.set_result(self.payloads)
+
+
+class AgentPool:
+    """One long-lived agent process per party, serving many queries.
+
+    The pool owns the processes, control sockets and receiver threads; the
+    per-query bookkeeping hands each submission a :class:`Future` resolving
+    to the per-party payload dict (or the query's primary error).
+    """
+
+    def __init__(
+        self,
+        parties: list[str],
+        *,
+        inputs: dict | None = None,
+        timeout: float = 60.0,
+        idle_timeout: float | None = None,
+        start_method: str | None = None,
+        on_retire=None,
+    ):
+        self.parties = list(parties)
+        self.timeout = timeout
+        self.idle_timeout = idle_timeout
+        self._on_retire = on_retire
+        self._retired = False
+        self._lock = threading.Lock()
+        self._pending: dict[int, _PendingQuery] = {}
+        self._send_locks: dict[str, threading.Lock] = {}
+        self._closed = False
+        self._broken: BaseException | None = None
+        self._closing_reason: str | None = None
+        self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
+        self._connections: dict[str, socket.socket] = {}
+        self._receivers: list[threading.Thread] = []
+
+        ctx = multiprocessing.get_context(start_method)
+        listener = bind_listener(timeout)
+        port = listener.getsockname()[1]
+        try:
+            for party in self.parties:
+                proc = ctx.Process(
+                    target=agent_main,
+                    args=(party, "127.0.0.1", port, timeout),
+                    daemon=True,
+                    name=f"conclave-agent-{party}",
+                )
+                proc.start()
+                self._processes[party] = proc
+                _ACTIVE_PROCESSES.add(proc)
+
+            self._connections = self._accept_agents(listener)
+            self._send_locks = {p: threading.Lock() for p in self._connections}
+            inputs = inputs or {}
+            for party, sock in self._connections.items():
+                send_frame(sock, ("session", {
+                    "parties": self.parties,
+                    "timeout": timeout,
+                    "idle_timeout": idle_timeout,
+                    "inputs": inputs.get(party, {}),
+                }))
+
+            ports = {}
+            for party, sock in self._connections.items():
+                ports[party] = self._expect(party, sock, "ports")
+            for sock in self._connections.values():
+                send_frame(sock, ("peers", ports))
+            # Wait for the mesh to be fully established at every agent, so
+            # an open pool is a *working* pool (handshake bugs fail here,
+            # not inside the first submit).
+            for party, sock in self._connections.items():
+                self._expect(party, sock, "ready")
+        except BaseException:
+            self._teardown()
+            raise
+        finally:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+        for party, sock in self._connections.items():
+            thread = threading.Thread(
+                target=self._receive_loop, args=(party, sock), daemon=True,
+                name=f"pool-recv-{party}",
+            )
+            thread.start()
+            self._receivers.append(thread)
+
+    # -- handshake ---------------------------------------------------------------------
+
+    def _accept_agents(self, listener: socket.socket) -> dict[str, socket.socket]:
+        connections: dict[str, socket.socket] = {}
+        for _ in self.parties:
+            try:
+                sock, _addr = listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise AgentFailure(
+                    f"timed out waiting for agents to connect; got {sorted(connections)} "
+                    f"of {self.parties}"
+                ) from exc
+            sock.settimeout(self.timeout + 10)
+            tag, party = recv_frame(sock)
+            if tag != "hello" or party not in self.parties or party in connections:
+                raise AgentFailure(f"malformed agent hello: {(tag, party)!r}")
+            connections[party] = sock
+        return connections
+
+    def _expect(self, party: str, sock: socket.socket, expected_tag: str):
+        frame = recv_frame(sock)
+        tag, *rest = frame
+        if tag == "fatal":
+            raise _agent_error(party, rest[0], rest[1])
+        if tag != expected_tag:
+            raise AgentFailure(f"agent {party!r} sent {tag!r}, expected {expected_tag!r}")
+        return rest[0]
+
+    # -- the query path ----------------------------------------------------------------
+
+    def submit(
+        self,
+        query_id: int,
+        fingerprint: str,
+        compiled_to_ship,
+        config,
+        seed: int,
+        inputs: dict | None,
+    ) -> Future:
+        """Frame one query out to every agent; returns the payload future.
+
+        ``compiled_to_ship`` is the compiled plan on the first submission of
+        a fingerprint and ``None`` afterwards (the agents serve it from
+        their plan cache).
+        """
+        with self._lock:
+            if self._closed or self._broken is not None:
+                raise SessionClosed(self._closed_message())
+            entry = _PendingQuery(remaining=set(self.parties))
+            self._pending[query_id] = entry
+        # Encode every party's frame *before* sending any: a serialization
+        # failure (unpicklable inputs, frame over the cap) then fails only
+        # this query — cleanly, with nothing half-shipped — and the session
+        # keeps serving.  After successful encoding only socket errors
+        # remain, and those mean the party is gone.
+        try:
+            frames = {
+                party: encode_frame(("query", {
+                    "query_id": query_id,
+                    "fingerprint": fingerprint,
+                    "compiled": compiled_to_ship,
+                    "config": config,
+                    "seed": seed,
+                    # Per-party override: parties not named keep their
+                    # standing session inputs (None -> agent falls back).
+                    "inputs": None if inputs is None else inputs.get(party),
+                }))
+                for party in self.parties
+            }
+        except Exception:
+            with self._lock:
+                self._pending.pop(query_id, None)
+            raise
+        for party, data in frames.items():
+            try:
+                with self._send_locks[party]:
+                    self._connections[party].sendall(data)
+            except OSError as exc:
+                # The receiver loop may race us to the diagnosis; either way
+                # the entry's future is failed before we return.
+                self._party_died(party, exc)
+                break
+        return entry.future
+
+    def _receive_loop(self, party: str, sock: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    frame = recv_frame(sock, allow_idle_timeout=True)
+                except TimeoutError:
+                    continue  # idle stream; in-flight timeouts live in the mesh
+                tag = frame[0]
+                if tag == "result":
+                    self._resolve(party, frame[1], payload=frame[2])
+                elif tag == "error":
+                    self._resolve(party, frame[1], error=_agent_error(party, frame[2], frame[3]))
+                elif tag == "fatal":
+                    raise _agent_error(party, frame[1], frame[2])
+                elif tag == "closing":
+                    self._mark_closing(party, frame[1])
+                    return
+                else:
+                    raise AgentFailure(f"agent {party!r} sent unknown frame {tag!r}")
+        except BaseException as exc:  # noqa: BLE001 - control link is gone
+            self._party_died(party, exc)
+
+    def _resolve(self, party: str, query_id: int, payload=None, error=None) -> None:
+        with self._lock:
+            entry = self._pending.get(query_id)
+            if entry is None:
+                return  # query already failed wholesale (e.g. a peer died)
+            if error is not None:
+                entry.errors.append(error)
+            else:
+                entry.payloads[party] = payload
+            entry.remaining.discard(party)
+            done = not entry.remaining
+            if done:
+                del self._pending[query_id]
+        if done:
+            entry.finish()
+
+    def _party_died(self, party: str, exc: BaseException) -> None:
+        with self._lock:
+            if self._broken is None and not self._closed:
+                self._broken = exc
+            # Whatever the pool state, leftover in-flight queries must fail
+            # loudly — an unresolved future is a deadlocked caller.
+            entries = list(self._pending.values())
+            self._pending.clear()
+        if entries:
+            failure = AgentFailure(
+                f"agent {party!r} died mid-session; all in-flight queries failed: {exc}"
+            )
+            failure.__cause__ = exc if isinstance(exc, Exception) else None
+            for entry in entries:
+                if not entry.future.done():
+                    entry.future.set_exception(failure)
+        # Retire even when nothing was in flight: a pool broken while idle
+        # must still release its surviving processes, sockets and registry
+        # entries without waiting for an explicit close().
+        self._retire()
+
+    def _mark_closing(self, party: str, reason: str) -> None:
+        with self._lock:
+            self._closing_reason = reason
+            if reason == "shutdown" or self._closed:
+                return
+            # Idle timeout: the agents retired themselves; the pool can no
+            # longer serve queries.  Nothing was in flight (agents only
+            # idle out with an empty in-flight set).
+            entries = list(self._pending.values())
+            self._pending.clear()
+            self._broken = SessionClosed(f"agents closed the session: {reason}")
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(AgentFailure(
+                    f"agent {party!r} closed ({reason}) with queries in flight"
+                ))
+        if reason != "shutdown":
+            # Idle retirement: the agents are exiting on their own and the
+            # user may never call close() on the abandoned session — release
+            # the coordinator-side sockets/processes/registry entries now.
+            self._retire()
+
+    def _closed_message(self) -> str:
+        if self._broken is not None:
+            return f"session is no longer usable: {self._broken}"
+        return "session is closed"
+
+    def _retire(self) -> None:
+        """Release OS resources of a pool that can no longer serve queries.
+
+        Runs once, from whichever thread first diagnoses the pool as broken
+        (crash) or retired (idle timeout): closes the control sockets (which
+        also unblocks sibling receiver threads and makes surviving agents
+        exit on control-link EOF), reaps the processes, and notifies the
+        owning session so registries do not pin an abandoned session.
+        """
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+        for sock in self._connections.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._teardown(grace=2.0)
+        if self._on_retire is not None:
+            self._on_retire()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> BaseException | None:
+        return self._broken
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the pool down; with ``drain``, in-flight queries finish first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [e.future for e in self._pending.values()]
+            broken = self._broken is not None
+        if drain and not broken:
+            for future in pending:
+                try:
+                    future.exception(timeout=self.timeout)
+                except Exception:  # noqa: BLE001 - drain best-effort; teardown follows
+                    pass
+        if not broken:
+            for party, sock in self._connections.items():
+                try:
+                    with self._send_locks[party]:
+                        send_frame(sock, ("shutdown", None))
+                except (WireError, OSError):
+                    pass
+            # Receivers exit when their agent confirms ("closing", "shutdown").
+            for thread in self._receivers:
+                thread.join(timeout=self.timeout)
+        # Unblock any receiver still parked in recv (e.g. the surviving
+        # parties of a broken pool): shutdown() interrupts a blocked read
+        # (plain close() would not), then the socket can be closed.
+        for sock in self._connections.values():
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in self._receivers:
+            thread.join(timeout=5)
+        # Agents that confirmed shutdown exit on their own; survivors of a
+        # broken pool never will, so skip the grace period and terminate.
+        self._teardown(grace=0.0 if broken else 5.0)
+
+    def _teardown(self, grace: float = 0.0) -> None:
+        for sock in self._connections.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for proc in self._processes.values():
+            if grace:
+                proc.join(timeout=grace)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5)
+            _ACTIVE_PROCESSES.discard(proc)
+
+
+class PendingResult:
+    """Handle for one submitted query; ``result()`` blocks and merges."""
+
+    def __init__(self, session: "QuerySession", compiled, future: Future, started: float):
+        self._session = session
+        self._compiled = compiled
+        self._future = future
+        self._started = started
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None):
+        """The merged :class:`~repro.core.dispatch.QueryResult` (blocking).
+
+        A ``timeout`` bounds the wait: expiry raises :class:`AgentFailure`
+        (the query may still be running; the session stays usable).
+        """
+        try:
+            payloads = self._future.result(timeout)
+        except TimeoutError:
+            raise AgentFailure(
+                f"no result within {timeout:.0f}s; the agents may be wedged "
+                "(mesh-level timeouts surface blocked exchanges, but purely "
+                "local agent work is unbounded)"
+            ) from None
+        merged = merge_payloads(self._compiled, self._session.parties, payloads)
+        merged.wall_seconds = time.perf_counter() - self._started
+        merged.runtime = self._session.runtime_label
+        return merged
+
+
+class QuerySession:
+    """A standing mesh of party agents serving a stream of queries.
+
+    Open once (agents spawn, mesh connects), ``submit`` many times — from
+    any thread, concurrently — and close explicitly or via ``with``.  Plans
+    are cached per session by DAG fingerprint, so resubmitting the same
+    compiled plan ships only its fingerprint.
+    """
+
+    def __init__(
+        self,
+        parties: list[str],
+        inputs: dict | None = None,
+        config: CompilationConfig | None = None,
+        seed: int = 0,
+        *,
+        timeout: float = 60.0,
+        idle_timeout: float | None = None,
+        start_method: str | None = None,
+        runtime_label: str = "service",
+    ):
+        self.parties = list(parties)
+        self.config = config or CompilationConfig()
+        self.seed = seed
+        self.runtime_label = runtime_label
+        self.stats = {"queries": 0, "plan_cache_hits": 0, "plan_cache_misses": 0}
+        self._submit_lock = threading.Lock()
+        # Next query id, advanced only on successful dispatch (under the
+        # submit lock) so a failed submission leaves no id gap — the mesh's
+        # released-id watermark relies on ids being contiguous.
+        self._next_qid = 1
+        self._shipped_fingerprints: set[str] = set()
+        self._pool = AgentPool(
+            self.parties,
+            inputs=inputs,
+            timeout=timeout,
+            idle_timeout=idle_timeout,
+            start_method=start_method,
+            on_retire=lambda: _ACTIVE_SESSIONS.discard(self),
+        )
+        _ACTIVE_SESSIONS.add(self)
+        if self._pool._retired:  # lost the race against an immediate retire
+            _ACTIVE_SESSIONS.discard(self)
+
+    # -- submission --------------------------------------------------------------------
+
+    def submit_async(
+        self,
+        query,
+        inputs: dict | None = None,
+        seed: int | None = None,
+        config: CompilationConfig | None = None,
+    ) -> PendingResult:
+        """Dispatch one query to the standing agents; returns immediately.
+
+        ``query`` is a compiled plan (preferred — compile once, submit many)
+        or anything :func:`repro.core.compiler.compile_query` accepts.
+        ``inputs`` optionally overrides the session's standing inputs for
+        this query only (per party; parties not named keep their standing
+        inputs).  ``seed``/``config`` default to the session's.
+        """
+        from repro.core.compiler import CompiledQuery, compile_query
+
+        config = config or self.config
+        compiled = query if isinstance(query, CompiledQuery) else compile_query(query, config)
+        fingerprint = plan_fingerprint(compiled)
+        started = time.perf_counter()
+        # One lock around fingerprint bookkeeping *and* frame dispatch: the
+        # control links are FIFO per party, so holding the lock guarantees
+        # the plan-bearing frame reaches every agent before any frame that
+        # references the plan by fingerprint alone.
+        with self._submit_lock:
+            ship = fingerprint not in self._shipped_fingerprints
+            query_id = self._next_qid
+            future = self._pool.submit(
+                query_id,
+                fingerprint,
+                compiled if ship else None,
+                config,
+                self.seed if seed is None else seed,
+                inputs,
+            )
+            # Only now is the id consumed: a submit that raised (e.g. its
+            # frame failed to encode) shipped nothing, so the id is reused.
+            self._next_qid += 1
+            self._shipped_fingerprints.add(fingerprint)
+            self.stats["queries"] += 1
+            self.stats["plan_cache_misses" if ship else "plan_cache_hits"] += 1
+        return PendingResult(self, compiled, future, started)
+
+    def submit(
+        self,
+        query,
+        inputs: dict | None = None,
+        seed: int | None = None,
+        config: CompilationConfig | None = None,
+        timeout: float | None = None,
+    ):
+        """Execute one query on the standing agents and block for its result."""
+        return self.submit_async(query, inputs=inputs, seed=seed, config=config).result(timeout)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._pool.closed or self._pool.broken is not None
+
+    def in_flight(self) -> int:
+        return self._pool.in_flight()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Drain in-flight queries (unless ``drain=False``) and retire the agents."""
+        self._pool.close(drain=drain)
+        _ACTIVE_SESSIONS.discard(self)
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+
+def open_session(
+    inputs: dict | None = None,
+    config: CompilationConfig | None = None,
+    seed: int = 0,
+    *,
+    parties: list[str] | None = None,
+    timeout: float = 60.0,
+    idle_timeout: float | None = None,
+    start_method: str | None = None,
+) -> QuerySession:
+    """Open a persistent query session over one agent process per party.
+
+    ``inputs`` maps party name -> {relation name -> Table} and becomes the
+    session's standing data (each ``submit`` may override it per query);
+    ``parties`` defaults to the input owners.  Close the session explicitly
+    or use it as a context manager::
+
+        with cc.open_session(inputs) as session:
+            for plan in plans:
+                result = session.submit(plan)
+    """
+    if parties is None:
+        if not inputs:
+            raise ValueError("open_session needs inputs or an explicit parties list")
+        parties = sorted(inputs)
+    return QuerySession(
+        parties,
+        inputs=inputs,
+        config=config,
+        seed=seed,
+        timeout=timeout,
+        idle_timeout=idle_timeout,
+        start_method=start_method,
+    )
+
+
+# -- shared sessions for run_query(runtime="service") ---------------------------------------
+
+_SHARED_SESSIONS: dict[tuple, QuerySession] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_session(
+    parties: list[str],
+    *,
+    timeout: float = 60.0,
+    start_method: str | None = None,
+) -> QuerySession:
+    """The process-wide standing session for ``parties`` (created on demand).
+
+    Backs ``run_query(..., runtime="service")``: repeated queries over the
+    same party set reuse one warm agent mesh.  Shared sessions carry no
+    standing inputs — every submission ships its own — and are closed by
+    :func:`close_shared_sessions` (registered ``atexit``).
+    """
+    key = (tuple(parties), timeout, start_method)
+    with _SHARED_LOCK:
+        session = _SHARED_SESSIONS.get(key)
+        if session is None or session.closed:
+            session = QuerySession(
+                parties, timeout=timeout, start_method=start_method,
+            )
+            _SHARED_SESSIONS[key] = session
+        return session
+
+
+def close_shared_sessions() -> None:
+    """Close every shared session (used by tests and at interpreter exit)."""
+    with _SHARED_LOCK:
+        sessions = list(_SHARED_SESSIONS.values())
+        _SHARED_SESSIONS.clear()
+    for session in sessions:
+        try:
+            session.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+atexit.register(close_shared_sessions)
+
+
+def _agent_error(party: str, exc, tb: str) -> BaseException:
+    if isinstance(exc, BaseException):
+        exc.__cause__ = AgentFailure(f"raised in agent {party!r}:\n{tb}")
+        return exc
+    return AgentFailure(f"agent {party!r} failed:\n{tb}")

@@ -124,7 +124,12 @@ class SocketTransport(Transport):
     that what arrives matches the replicated computation's expectation.
     """
 
-    def __init__(self, party_names: list[str], mesh: "PeerMesh"):
+    def __init__(self, party_names: list[str], mesh):
+        # ``mesh`` is anything with the PeerMesh send/receive surface: a
+        # whole :class:`~repro.runtime.mesh.PeerMesh` (single-query runs) or
+        # a per-query :class:`~repro.runtime.mesh.MeshChannel` (service
+        # mode, where frames of concurrent queries interleave on the shared
+        # sockets and the channel demultiplexes by query id).
         super().__init__(party_names)
         self.mesh = mesh
         self.local_party = mesh.party
@@ -160,4 +165,6 @@ class SocketTransport(Transport):
         self._queues[message.receiver].append(message)
 
     def close(self) -> None:
+        # For a MeshChannel this releases the per-query queues and leaves
+        # the shared sockets open; for a whole PeerMesh it closes them.
         self.mesh.close()

@@ -7,6 +7,19 @@ payloads never leave the local machine group running the query (parties are
 mutually known processes of one deployment), so pickle's convenience
 outweighs its trust assumptions here; a production deployment would swap in
 msgpack plus TLS, which is exactly why the framing lives in its own module.
+
+The framing is exposed in two forms:
+
+* :func:`send_frame` / :func:`recv_frame` — the socket-bound pair the
+  runtime uses.  ``recv_frame(..., allow_idle_timeout=True)`` lets a serving
+  agent distinguish "no frame started yet" (the socket timed out while the
+  stream sat idle between frames — re-raised as :class:`TimeoutError` so the
+  caller can apply an idle policy) from "the stream died mid-frame" (always
+  a :class:`WireError`).
+* :func:`encode_frame` / :class:`FrameDecoder` — the same protocol over
+  plain bytes, so framing properties (round-trips, interleaving, truncation
+  rejection) are testable without sockets and the decoder can be reused by
+  future non-socket transports.
 """
 
 from __future__ import annotations
@@ -26,30 +39,88 @@ class WireError(ConnectionError):
     """A connection failed mid-frame or produced a corrupt frame."""
 
 
-def send_frame(sock: socket.socket, obj: object) -> None:
-    """Serialise ``obj`` and write it as one length-prefixed frame."""
+def encode_frame(obj: object) -> bytes:
+    """Serialise ``obj`` as one length-prefixed frame."""
     data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(data) > MAX_FRAME_BYTES:
         raise WireError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    return _HEADER.pack(len(data)) + data
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of length-prefixed frames.
+
+    Feed arbitrary chunks (network reads split frames at arbitrary points);
+    :meth:`frames` yields every complete decoded object.  :meth:`eof` must be
+    called when the stream ends: a stream that stops mid-frame is truncated
+    and raises :class:`WireError` instead of silently dropping the tail.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[object]:
+        """Absorb ``chunk`` and return the objects completed by it."""
+        self._buffer.extend(chunk)
+        frames = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireError(f"incoming frame claims {length} bytes; stream is corrupt")
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            payload = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
+            del self._buffer[:_HEADER.size + length]
+            frames.append(pickle.loads(payload))
+        return frames
+
+    def eof(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buffer:
+            raise WireError(
+                f"stream truncated mid-frame: {len(self._buffer)} trailing bytes"
+            )
+
+
+def send_frame(sock: socket.socket, obj: object) -> None:
+    """Serialise ``obj`` and write it as one length-prefixed frame."""
+    data = encode_frame(obj)
     try:
-        sock.sendall(_HEADER.pack(len(data)) + data)
+        sock.sendall(data)
     except OSError as exc:
         raise WireError(f"failed to send {len(data)}-byte frame: {exc}") from exc
 
 
-def recv_frame(sock: socket.socket) -> object:
-    """Read one length-prefixed frame and unpickle it."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+def recv_frame(sock: socket.socket, *, allow_idle_timeout: bool = False) -> object:
+    """Read one length-prefixed frame and unpickle it.
+
+    With ``allow_idle_timeout`` a socket timeout that fires *before any byte
+    of the frame arrived* is re-raised as :class:`TimeoutError` (the stream
+    is merely idle); a timeout mid-frame is still a :class:`WireError`.
+    """
+    header = _recv_exact(sock, _HEADER.size, allow_idle_timeout=allow_idle_timeout)
+    (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise WireError(f"incoming frame claims {length} bytes; stream is corrupt")
     return pickle.loads(_recv_exact(sock, length))
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
+def _recv_exact(sock: socket.socket, n: int, *, allow_idle_timeout: bool = False) -> bytes:
     buf = bytearray()
     while len(buf) < n:
         try:
             chunk = sock.recv(n - len(buf))
+        except TimeoutError:
+            if allow_idle_timeout and not buf:
+                raise
+            raise WireError("connection timed out mid-frame") from None
         except OSError as exc:
             raise WireError(f"connection error while reading frame: {exc}") from exc
         if not chunk:

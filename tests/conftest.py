@@ -16,15 +16,26 @@ PARTIES = ["alpha.example", "beta.example", "gamma.example"]
 
 @pytest.fixture(autouse=True)
 def _no_leaked_agent_processes():
-    """Kill any party-agent process a test leaks so the suite never wedges.
+    """Close leaked sessions and kill leaked agent processes after each test.
 
-    The socket runtime spawns one OS process per party; a test that fails
-    mid-handshake could otherwise leave agents blocked on socket reads.
-    Every agent is daemonic and every blocking read has a timeout, but this
-    guard makes leaks impossible regardless.
+    The socket runtime spawns one OS process per party, and service mode
+    keeps them alive inside sessions; a test that fails mid-handshake or
+    forgets to close a session could otherwise leave agents blocked on
+    socket reads.  Every agent is daemonic and every blocking read has a
+    timeout, but this guard makes leaks impossible regardless: sessions
+    (including the shared ``runtime="service"`` ones) are closed first, then
+    anything still alive is killed.
     """
     yield
+    from repro.runtime import service
     from repro.runtime.coordinator import active_agent_processes
+
+    service.close_shared_sessions()
+    for session in list(service._ACTIVE_SESSIONS):
+        try:
+            session.close(drain=False)
+        except Exception:
+            pass
 
     leaked = list(active_agent_processes())
     leaked += [

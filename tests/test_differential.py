@@ -408,3 +408,40 @@ def test_random_plan_byte_identical_across_transports(plan):
     assert simulated.mpc_profile == socketed.mpc_profile
     assert compiled.mpc_operator_count() == _compiled.mpc_operator_count()
     assert sorted(socketed.outputs["out"].rows()) == oracle(spec)
+
+
+def test_fifty_plans_replayed_through_one_warm_session():
+    """Service-mode differential: replay all 50 seeded random plans through
+    ONE long-lived session and require byte-identity (outputs including row
+    order, plus the MPC work/traffic profile) with a fresh-process socket
+    run and the simulated runtime of every plan."""
+    config = CompilationConfig(cleartext_backend="python", mpc_backend="sharemind")
+    with cc.QuerySession([PARTY_A, PARTY_B], config=config, seed=3) as session:
+        for plan in range(NUM_PLANS):
+            spec = generate_spec(SEED + plan)
+            ctx, inputs = build_query(spec)
+            compiled = cc.compile_query(ctx, config)
+
+            simulated = QueryRunner(
+                [PARTY_A, PARTY_B], inputs, config, seed=3
+            ).run(compiled)
+            cold = SocketCoordinator(
+                [PARTY_A, PARTY_B], inputs, config, seed=3
+            ).run(compiled)
+            warm = session.submit(compiled, inputs=inputs)
+
+            expected = oracle(spec)
+            for label, result in (("cold", cold), ("warm", warm)):
+                assert result.outputs["out"] == simulated.outputs["out"], (
+                    f"plan {plan} (seed {spec['seed']}): {label} socket run is not "
+                    f"byte-identical to the simulated runtime"
+                )
+                assert result.mpc_profile == simulated.mpc_profile, (
+                    f"plan {plan} (seed {spec['seed']}): {label} socket run has a "
+                    f"different MPC work/traffic profile"
+                )
+            assert sorted(warm.outputs["out"].rows()) == expected, (
+                f"plan {plan} (seed {spec['seed']}) diverged from the oracle in the "
+                f"warm session"
+            )
+        assert session.stats["queries"] == NUM_PLANS

@@ -1,0 +1,275 @@
+"""Property-based round-trip tests for the wire framing and mesh multiplexing.
+
+Seeded random generation (no external property-testing dependency) drives
+the frame codec through the properties service mode leans on: arbitrary
+payloads round-trip byte-exactly regardless of how the stream is chunked;
+empty and >64 KiB payloads are ordinary frames; frames of interleaved query
+ids demultiplex into per-query FIFO order; and a stream that ends mid-frame
+is *rejected* as truncated, never silently dropped.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.mesh import PeerMesh
+from repro.runtime.transport import TransportError
+from repro.runtime.wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    WireError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+SEED = 20260730
+
+
+def random_payload(rng: np.random.Generator):
+    """One random payload: mixed types, sizes from empty to >64 KiB."""
+    kind = int(rng.integers(0, 6))
+    if kind == 0:
+        return b""
+    if kind == 1:
+        return bytes(rng.integers(0, 256, int(rng.integers(1, 200)), dtype=np.uint8))
+    if kind == 2:  # comfortably above one 64 KiB socket buffer
+        return bytes(rng.integers(0, 256, int(rng.integers(1 << 16, 1 << 17)), dtype=np.uint8))
+    if kind == 3:
+        return {"k": int(rng.integers(-1000, 1000)), "nested": [None, ("t", 1.5)]}
+    if kind == 4:
+        return "x" * int(rng.integers(0, 5000))
+    return rng.integers(-100, 100, int(rng.integers(0, 1000)))
+
+
+def payloads_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray):
+        return isinstance(b, np.ndarray) and np.array_equal(a, b)
+    return a == b
+
+
+# -- codec round-trips ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", range(20))
+def test_random_frame_sequences_round_trip_under_random_chunking(case):
+    """Any frame sequence decodes identically however the bytes are split."""
+    rng = np.random.default_rng(SEED + case)
+    frames = [random_payload(rng) for _ in range(int(rng.integers(1, 8)))]
+    stream = b"".join(encode_frame(f) for f in frames)
+
+    decoder = FrameDecoder()
+    decoded = []
+    position = 0
+    while position < len(stream):
+        step = int(rng.integers(1, max(2, len(stream) // 3)))
+        decoded.extend(decoder.feed(stream[position:position + step]))
+        position += step
+    decoder.eof()  # ended exactly on a frame boundary
+
+    assert len(decoded) == len(frames)
+    for got, expected in zip(decoded, frames):
+        assert payloads_equal(got, expected)
+
+
+def test_empty_payload_is_an_ordinary_frame():
+    for empty in (b"", "", (), [], {}, None):
+        decoder = FrameDecoder()
+        (got,) = decoder.feed(encode_frame(empty))
+        assert payloads_equal(got, empty)
+        decoder.eof()
+
+
+def test_large_frame_round_trips_over_a_real_socket():
+    """A >64 KiB frame crosses a socket in multiple recv() chunks."""
+    left, right = socket.socketpair()
+    try:
+        left.settimeout(10)
+        right.settimeout(10)
+        payload = bytes(np.random.default_rng(SEED).integers(0, 256, 300_000, dtype=np.uint8))
+        sender = threading.Thread(target=send_frame, args=(left, ("big", payload)))
+        sender.start()
+        tag, got = recv_frame(right)
+        sender.join(timeout=10)
+        assert tag == "big" and got == payload
+    finally:
+        left.close()
+        right.close()
+
+
+# -- query-id interleaving ------------------------------------------------------------------
+
+
+def test_interleaved_query_ids_demultiplex_in_per_query_order():
+    """Frames of many queries interleaved on one stream keep per-query FIFO order."""
+    rng = np.random.default_rng(SEED)
+    expected: dict[int, list] = {qid: [] for qid in (1, 2, 7)}
+    stream = bytearray()
+    for _ in range(60):
+        qid = int(rng.choice(list(expected)))
+        payload = random_payload(rng)
+        expected[qid].append(payload)
+        stream.extend(encode_frame(("msg", qid, payload)))
+
+    decoder = FrameDecoder()
+    got: dict[int, list] = {qid: [] for qid in expected}
+    for kind, qid, payload in decoder.feed(bytes(stream)):
+        assert kind == "msg"
+        got[qid].append(payload)
+    decoder.eof()
+
+    for qid in expected:
+        assert len(got[qid]) == len(expected[qid])
+        for a, b in zip(got[qid], expected[qid]):
+            assert payloads_equal(a, b)
+
+
+def make_mesh_pair(timeout: float = 5.0) -> tuple[PeerMesh, PeerMesh]:
+    """Two connected single-link meshes (parties ``a`` and ``b``)."""
+    sock_a, sock_b = socket.socketpair()
+    sock_a.settimeout(timeout)
+    sock_b.settimeout(timeout)
+    return PeerMesh("a", {"b": sock_a}, timeout=timeout), PeerMesh("b", {"a": sock_b}, timeout=timeout)
+
+
+def test_mesh_channels_isolate_concurrent_queries():
+    """Messages of two queries interleaved on one socket reach their channels."""
+    mesh_a, mesh_b = make_mesh_pair()
+    try:
+        rng = np.random.default_rng(SEED + 1)
+        sent: dict[int, list] = {1: [], 2: []}
+        for i in range(40):
+            qid = int(rng.integers(1, 3))
+            message = ("round", qid, i)
+            sent[qid].append(message)
+            mesh_b.channel(qid).send_message("a", message)
+        for qid in (1, 2):
+            channel = mesh_a.channel(qid)
+            for expected in sent[qid]:
+                assert channel.receive_message("b") == expected
+        # Tables travel the same multiplexed link, checked by relation name.
+        mesh_b.channel(9).send_table("a", "rel", {"rows": 3})
+        assert mesh_a.channel(9).receive_table("b", "rel") == {"rows": 3}
+        with pytest.raises(TransportError, match="diverged"):
+            mesh_b.channel(9).send_table("a", "other", {"rows": 1})
+            mesh_a.channel(9).receive_table("b", "rel")
+    finally:
+        mesh_a.close()
+        mesh_b.close()
+
+
+def test_channel_abort_poisons_only_that_query():
+    mesh_a, mesh_b = make_mesh_pair()
+    try:
+        mesh_b.channel(5).send_message("a", "alive")
+        mesh_b.channel(3).abort("boom at b")
+        # Query 3 fails immediately — existing and future receives alike.
+        with pytest.raises(TransportError, match="aborted query 3"):
+            mesh_a.channel(3).receive_message("b")
+        with pytest.raises(TransportError, match="aborted query 3"):
+            mesh_a.channel(3).receive_table("b", "rel")
+        # Query 5 is untouched.
+        assert mesh_a.channel(5).receive_message("b") == "alive"
+    finally:
+        mesh_a.close()
+        mesh_b.close()
+
+
+def test_released_query_drops_late_frames_instead_of_accumulating():
+    """Frames racing a channel release are discarded — a long-lived mesh
+    must not grow per-finished-query state (the slow-leak regression)."""
+    mesh_a, mesh_b = make_mesh_pair()
+    try:
+        channel = mesh_a.channel(4)
+        mesh_b.channel(4).send_message("a", "consumed")
+        assert channel.receive_message("b") == "consumed"
+        channel.close()  # query finished; id 4 is released
+        mesh_b.channel(4).send_message("a", "late")
+        mesh_b.channel(4).abort("late abort")
+        # A later frame on the same link proves the earlier ones were read.
+        mesh_b.channel(6).send_message("a", "fresh")
+        assert mesh_a.channel(6).receive_message("b") == "fresh"
+        assert not [k for k in mesh_a._queues if k[1] == 4]
+        assert not [k for k in mesh_a._aborted if k[1] == 4]
+    finally:
+        mesh_a.close()
+        mesh_b.close()
+
+
+def test_peer_death_poisons_existing_and_future_channels():
+    mesh_a, mesh_b = make_mesh_pair()
+    try:
+        existing = mesh_a.channel(1)
+        mesh_b.close()  # peer process gone: its sockets close
+        with pytest.raises(TransportError, match="closed"):
+            existing.receive_message("b")
+        # A channel opened only after the death must fail too, immediately.
+        with pytest.raises(TransportError, match="closed"):
+            mesh_a.channel(2).receive_message("b")
+    finally:
+        mesh_a.close()
+
+
+# -- truncation and corruption --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_truncated_streams_are_rejected(case):
+    """Every cut that ends mid-frame raises WireError at eof()."""
+    rng = np.random.default_rng(SEED + 100 + case)
+    frames = [random_payload(rng) for _ in range(3)]
+    encoded = [encode_frame(f) for f in frames]
+    stream = b"".join(encoded)
+    boundaries = {0}
+    offset = 0
+    for chunk in encoded:
+        offset += len(chunk)
+        boundaries.add(offset)
+
+    cuts = sorted(set(int(c) for c in rng.integers(0, len(stream), 25)) | boundaries)
+    for cut in cuts:
+        decoder = FrameDecoder()
+        decoder.feed(stream[:cut])
+        if cut in boundaries:
+            decoder.eof()  # clean boundary: no truncation
+        else:
+            with pytest.raises(WireError, match="truncated"):
+                decoder.eof()
+
+
+def test_truncated_socket_stream_raises_wire_error():
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(5)
+        frame = encode_frame({"half": "frame"})
+        left.sendall(frame[: len(frame) - 3])
+        left.close()
+        with pytest.raises(WireError, match="closed mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversized_header_is_stream_corruption():
+    decoder = FrameDecoder()
+    header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(WireError, match="corrupt"):
+        decoder.feed(header + b"xxxx")
+
+
+def test_idle_timeout_is_distinguished_from_mid_frame_death():
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(0.05)
+        # Idle: no byte of a frame arrived — TimeoutError (stream is fine).
+        with pytest.raises(TimeoutError):
+            recv_frame(right, allow_idle_timeout=True)
+        # Mid-frame: a partial header arrived — always a WireError.
+        left.sendall(b"\x00\x00")
+        with pytest.raises(WireError, match="mid-frame"):
+            recv_frame(right, allow_idle_timeout=True)
+    finally:
+        left.close()
+        right.close()
