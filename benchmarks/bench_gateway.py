@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Benchmark: the query gateway under saturation — shed early or queue forever.
+
+An open-loop load generator offers a fixed query rate (two analysts,
+alternating submissions) to a standing two-party session and sweeps the
+offered rate from below the session's measured capacity to ~3x beyond it,
+in two modes:
+
+* ``unbounded``  — the pre-gateway behaviour (no admission limits): every
+  query is accepted and waits as long as the backlog demands;
+* ``admission``  — a bounded gateway (``max_queue_depth``): beyond the
+  queue cap, submissions are shed immediately with ``QueryRejected``.
+
+For each (mode, rate) point the benchmark reports admitted/rejected counts,
+p50/p95/p99 end-to-end latency of *admitted* queries, queue-wait vs execute
+time, the maximum queue depth observed, the plan-cache hit rate and the
+per-party bytes on the wire — everything from the session's own metrics
+subsystem, exactly what a scrape would see.
+
+Emits ``BENCH_gateway.json`` (or the path given as the first argument); the
+second argument overrides queries-per-point for quick CI runs.  Asserts
+that under saturation the bounded gateway sheds (explicitly, never
+silently), keeps its queue at or below the cap, and holds admitted p99 well
+under the unbounded backlog's.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py [out.json] [queries_per_point]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+
+import numpy as np
+
+import repro as cc
+from repro.core.config import GatewayConfig
+from repro.core.lang import QueryContext
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+from repro.runtime.gateway import QueryRejected
+
+PARTY_A = "alpha.example"
+PARTY_B = "beta.example"
+SEED = 42
+MAX_WORKERS = 2          # small worker pool: saturation without huge rates
+MAX_QUEUE_DEPTH = 4      # the bounded mode's admission cap
+RATE_MULTIPLIERS = [0.5, 1.5, 3.0]
+DEFAULT_QUERIES_PER_POINT = 30
+ANALYSTS = ["alice", "bob"]
+
+
+def build_query():
+    pa, pb = cc.Party(PARTY_A), cc.Party(PARTY_B)
+    with QueryContext() as ctx:
+        t0 = ctx.new_table("t0", [cc.Column("k"), cc.Column("v")], at=pa)
+        t1 = ctx.new_table("t1", [cc.Column("k"), cc.Column("v")], at=pb)
+        ctx.concat([t0, t1]).aggregate(
+            group=["k"], aggs={"s": cc.SUM("v"), "n": cc.COUNT()}
+        ).collect("out", to=[pa])
+    return ctx
+
+
+def build_inputs(rows: int = 60):
+    rng = np.random.default_rng(SEED)
+    schema = Schema([ColumnDef("k"), ColumnDef("v")])
+    return {
+        party: {
+            name: Table(schema, [rng.integers(0, 6, rows), rng.integers(-40, 40, rows)])
+        }
+        for party, name in ((PARTY_A, "t0"), (PARTY_B, "t1"))
+    }
+
+
+def open_session(compiled, inputs, gateway: GatewayConfig | None):
+    return cc.QuerySession(
+        [PARTY_A, PARTY_B],
+        inputs=inputs,
+        config=compiled.config,
+        seed=SEED,
+        max_workers=MAX_WORKERS,
+        gateway=gateway,
+    )
+
+
+def measure_base_latency(compiled, inputs, queries: int = 4) -> float:
+    """Mean sequential latency of the query on a warm session (seconds)."""
+    session = open_session(compiled, inputs, None)
+    try:
+        session.submit(compiled, timeout=120)  # warm the plan cache
+        latencies = []
+        for _ in range(queries):
+            t0 = time.perf_counter()
+            session.submit(compiled, timeout=120)
+            latencies.append(time.perf_counter() - t0)
+        return statistics.mean(latencies)
+    finally:
+        session.close()
+
+
+def run_point(compiled, inputs, gateway, offered_qps: float, queries: int) -> dict:
+    """Offer ``queries`` submissions at ``offered_qps`` and drain the session."""
+    session = open_session(compiled, inputs, gateway)
+    try:
+        session.submit(compiled, timeout=120)  # warm: sweep hits the plan cache
+        interval = 1.0 / offered_qps
+        admitted, rejected = [], 0
+        queue_depth_max = 0
+        start = time.perf_counter()
+        for i in range(queries):
+            deadline = start + i * interval
+            delay = deadline - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                admitted.append(session.submit_async(compiled, analyst=ANALYSTS[i % 2]))
+            except QueryRejected:
+                rejected += 1
+            queue_depth_max = max(queue_depth_max, session.queued())
+        for pending in admitted:
+            pending.result(timeout=300)
+        stats = session.stats
+        latency = stats["latency"]
+        wire_bytes = {
+            party: sum(peer["bytes_sent"] for peer in peers.values())
+            for party, peers in stats["wire"].items()
+        }
+        return {
+            "offered_qps": offered_qps,
+            "queries_offered": queries,
+            "admitted": len(admitted),
+            "rejected": rejected,
+            "queue_depth_max": queue_depth_max,
+            "achieved_qps": len(admitted) / max(time.perf_counter() - start, 1e-9),
+            "latency_seconds": {
+                name: {k: latency[name][k] for k in ("count", "mean", "p50", "p95", "p99")}
+                for name in ("query_seconds", "queue_wait_seconds", "execute_seconds")
+                if name in latency
+            },
+            "plan_cache_hit_rate": stats["plan_cache_hits"] / max(stats["queries"], 1),
+            "wire_bytes_sent_per_party": wire_bytes,
+        }
+    finally:
+        session.close()
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_gateway.json"
+    queries = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_QUERIES_PER_POINT
+
+    compiled = cc.compile_query(build_query())
+    inputs = build_inputs()
+    base_latency = measure_base_latency(compiled, inputs)
+    capacity_qps = MAX_WORKERS / max(base_latency, 1e-9)
+    print(f"base latency {base_latency*1e3:.1f}ms -> capacity ~{capacity_qps:.1f} qps")
+
+    modes = {
+        "unbounded": None,
+        "admission": GatewayConfig(
+            max_in_flight=MAX_WORKERS, max_queue_depth=MAX_QUEUE_DEPTH
+        ),
+    }
+    results: dict[str, list[dict]] = {}
+    for mode, gateway in modes.items():
+        results[mode] = []
+        for multiplier in RATE_MULTIPLIERS:
+            point = run_point(compiled, inputs, gateway, capacity_qps * multiplier, queries)
+            point["rate_multiplier"] = multiplier
+            results[mode].append(point)
+            p99 = point["latency_seconds"]["query_seconds"]["p99"]
+            print(
+                f"{mode:>9}  x{multiplier:<3}  offered={point['offered_qps']:5.1f}qps  "
+                f"admitted={point['admitted']:>3}  rejected={point['rejected']:>3}  "
+                f"p99={p99*1e3:7.1f}ms  queue_max={point['queue_depth_max']}"
+            )
+
+    saturated_admission = results["admission"][-1]
+    saturated_unbounded = results["unbounded"][-1]
+    if saturated_admission["rejected"] == 0:
+        raise AssertionError(
+            "the bounded gateway shed nothing at 3x capacity; admission control "
+            "is not engaging"
+        )
+    if any(p["rejected"] != 0 for p in results["unbounded"]):
+        raise AssertionError("the unbounded mode must never shed")
+    if saturated_admission["queue_depth_max"] > MAX_QUEUE_DEPTH:
+        raise AssertionError(
+            f"queue depth {saturated_admission['queue_depth_max']} exceeded the "
+            f"cap {MAX_QUEUE_DEPTH}"
+        )
+    admission_p99 = saturated_admission["latency_seconds"]["query_seconds"]["p99"]
+    unbounded_p99 = saturated_unbounded["latency_seconds"]["query_seconds"]["p99"]
+    if admission_p99 >= unbounded_p99:
+        raise AssertionError(
+            f"admitted p99 under admission control ({admission_p99:.3f}s) did not "
+            f"beat the unbounded backlog's ({unbounded_p99:.3f}s) at saturation"
+        )
+
+    payload = {
+        "benchmark": "gateway",
+        "query": "two_party_sum_count",
+        "parties": 2,
+        "max_workers": MAX_WORKERS,
+        "max_queue_depth": MAX_QUEUE_DEPTH,
+        "queries_per_point": queries,
+        "base_latency_seconds": base_latency,
+        "capacity_qps": capacity_qps,
+        "results": results,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

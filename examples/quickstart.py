@@ -14,14 +14,20 @@ Run with::
 
     python examples/quickstart.py [runtime]
 
-where ``runtime`` is ``simulated`` (default), ``sockets`` or ``service``:
+where ``runtime`` is ``simulated`` (default), ``sockets``, ``service`` or
+``gateway``:
 
 * ``sockets`` executes the same query with one OS process per party, moving
   all cross-party traffic (including the secret-sharing rounds) over real
   TCP sockets, with byte-identical results;
 * ``service`` opens a *persistent session* — the per-party agents and their
   TCP mesh stay up across queries, so the example submits the plan several
-  times and prints how warm queries amortise the spawn + handshake cost.
+  times and prints how warm queries amortise the spawn + handshake cost;
+* ``gateway`` demonstrates the session's admission control: a burst beyond
+  the configured queue limits is shed with an explicit ``QueryRejected``
+  (never a silent unbounded backlog), and the session's live metrics —
+  latency percentiles, shed counts, bytes on the wire — are printed from
+  its Prometheus scrape endpoint.
 """
 
 import sys
@@ -90,7 +96,39 @@ def main(runtime: str = "simulated"):
                 result = session.submit(compiled)
                 label = "cold (includes plan shipping)" if i == 0 else "warm"
                 print(f"query {i + 1}: {time.perf_counter() - t0:.3f}s  [{label}]")
-            print(f"session stats: {session.stats}")
+            stats = session.stats
+            print("session stats: "
+                  f"{ {k: stats[k] for k in ('queries', 'plan_cache_hits', 'plan_cache_misses')} }")
+        print()
+    elif runtime == "gateway":
+        # Admission control + live metrics: bound the session at 2 concurrent
+        # queries and a 2-deep queue, then offer a burst of 8 from two
+        # analysts.  Queries beyond the limits are shed *immediately* with
+        # QueryRejected — the analyst retries later — instead of growing an
+        # unbounded backlog behind everyone's backs.
+        limits = cc.GatewayConfig(max_in_flight=2, max_queue_depth=2)
+        with cc.open_session(inputs, max_workers=2, gateway=limits) as session:
+            result = session.submit(compiled)  # warm the plan cache
+            admitted, rejected = [], 0
+            for i in range(8):
+                try:
+                    admitted.append(
+                        session.submit_async(compiled, analyst=("alice", "bob")[i % 2])
+                    )
+                except cc.QueryRejected:
+                    rejected += 1
+            for pending in admitted:
+                result = pending.result(timeout=120)
+            print(f"burst of 8: {len(admitted)} admitted, {rejected} shed (QueryRejected)")
+            stats = session.stats
+            latency = stats["latency"]["query_seconds"]
+            print(f"admitted latency: p50 {latency['p50']*1e3:.0f}ms, "
+                  f"p99 {latency['p99']*1e3:.0f}ms")
+            server = session.serve_metrics()
+            print(f"live Prometheus scrape at {server.url}:")
+            for line in session.render_prometheus().splitlines():
+                if line.startswith("conclave_queries"):
+                    print(f"  {line}")
         print()
     elif runtime == "sockets":
         result = cc.SocketCoordinator(parties, inputs).run(compiled)

@@ -66,6 +66,7 @@ from repro.core import (
     lit,
     CompilationConfig,
     CompiledQuery,
+    GatewayConfig,
     EstimatedOOM,
     EstimatorParams,
     FLOAT,
@@ -88,6 +89,8 @@ from repro.core import (
 )
 from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
 from repro.runtime import (
+    GatewayMetrics,
+    QueryRejected,
     QuerySession,
     SessionClosed,
     SimulatedTransport,
@@ -112,6 +115,7 @@ __all__ = [
     "lit",
     "CompilationConfig",
     "CompiledQuery",
+    "GatewayConfig",
     "EstimatedOOM",
     "EstimatorParams",
     "FLOAT",
@@ -137,6 +141,8 @@ __all__ = [
     "Table",
     "read_csv",
     "write_csv",
+    "GatewayMetrics",
+    "QueryRejected",
     "QuerySession",
     "SessionClosed",
     "SimulatedTransport",

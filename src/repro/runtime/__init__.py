@@ -62,6 +62,11 @@ __all__ = [
     "open_session",
     "active_sessions",
     "close_shared_sessions",
+    "QueryGateway",
+    "QueryRejected",
+    "GatewayMetrics",
+    "LatencyHistogram",
+    "MetricsServer",
 ]
 
 _LAZY = {
@@ -75,6 +80,11 @@ _LAZY = {
     "open_session": ("repro.runtime.service", "open_session"),
     "active_sessions": ("repro.runtime.service", "active_sessions"),
     "close_shared_sessions": ("repro.runtime.service", "close_shared_sessions"),
+    "QueryGateway": ("repro.runtime.gateway", "QueryGateway"),
+    "QueryRejected": ("repro.runtime.gateway", "QueryRejected"),
+    "GatewayMetrics": ("repro.runtime.metrics", "GatewayMetrics"),
+    "LatencyHistogram": ("repro.runtime.metrics", "LatencyHistogram"),
+    "MetricsServer": ("repro.runtime.metrics", "MetricsServer"),
 }
 
 

@@ -49,7 +49,10 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.runtime.mesh import PeerMesh, bind_listener, connect_mesh
 from repro.runtime.wire import recv_frame, send_frame
 
-#: Upper bound on queries one agent executes concurrently.
+#: Default upper bound on queries one agent executes concurrently.  The
+#: session frame may override it per session (``max_workers`` on
+#: :func:`repro.runtime.service.open_session`); this constant is only the
+#: fallback for sessions that do not say.
 AGENT_MAX_WORKERS = 8
 
 
@@ -133,6 +136,10 @@ class PartyAgent:
             "joint_leakage": outcome.joint_leakage,
             "backend_seconds": outcome.backend_seconds,
             "mpc_profile": outcome.mpc_profile,
+            # Cumulative per-peer mesh traffic at query completion — the
+            # metrics layer's bytes-on-wire view.  Shapes and sizes only,
+            # never payloads.
+            "wire_traffic": self.mesh.traffic() if self.mesh is not None else {},
         }
 
 
@@ -150,6 +157,9 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
         parties = bundle["parties"]
         run_timeout = bundle.get("timeout", timeout)
         idle_timeout = bundle.get("idle_timeout")
+        max_workers = bundle.get("max_workers") or AGENT_MAX_WORKERS
+        if not isinstance(max_workers, int) or max_workers < 1:
+            raise ValueError(f"agent {party!r} got invalid max_workers {max_workers!r}")
 
         # Deterministic port assignment: bind an ephemeral port (the OS
         # picks a free one) and let the coordinator broadcast the map.
@@ -162,7 +172,7 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
 
         agent = PartyAgent(party, parties, mesh, session_inputs=bundle.get("inputs"))
         send_frame(control, ("ready", None))
-        _serve(agent, control, run_timeout, idle_timeout)
+        _serve(agent, control, run_timeout, idle_timeout, max_workers)
     except BaseException as exc:  # noqa: BLE001 - everything must reach the coordinator
         try:
             send_frame(control, ("fatal", _picklable(exc), traceback.format_exc()))
@@ -187,6 +197,7 @@ def _serve(
     control: socket.socket,
     timeout: float,
     idle_timeout: float | None,
+    max_workers: int = AGENT_MAX_WORKERS,
 ) -> None:
     """The agent's query-serving loop (runs until shutdown/idle/EOF)."""
     send_lock = threading.Lock()
@@ -194,7 +205,7 @@ def _serve(
     state_lock = threading.Lock()
     last_activity = time.monotonic()
     pool = ThreadPoolExecutor(
-        max_workers=AGENT_MAX_WORKERS, thread_name_prefix=f"agent-query-{agent.party}"
+        max_workers=max_workers, thread_name_prefix=f"agent-query-{agent.party}"
     )
 
     def reply(frame: tuple) -> None:

@@ -1,0 +1,315 @@
+"""The query gateway: admission control, backpressure and fair scheduling.
+
+The service runtime (PR 5) gave the reproduction standing agents that serve
+a stream of queries, but no *front door*: every submission was framed out to
+the agents immediately, each agent ran up to its worker-pool limit
+concurrently, and everything beyond that buffered without bound — one hot
+analyst could wedge the session for everyone and nobody could tell.  This
+module is the front door:
+
+* **Admission control** — a query is *dispatched* while in-flight capacity
+  lasts, *queued* while the configured depth limits allow, and *shed* with
+  an explicit :class:`QueryRejected` beyond that.  Rejection is immediate
+  and stateless: the query never reached the agents, the session is
+  untouched, and the analyst can retry.
+* **Fair scheduling** — queued queries are dispatched by smooth weighted
+  round-robin across analyst principals, so a burst from one analyst cannot
+  starve the others of agent worker slots.  Per-analyst order stays FIFO.
+* **Metrics** — every transition is recorded in a
+  :class:`~repro.runtime.metrics.GatewayMetrics`: submitted / admitted /
+  rejected / completed / failed counters, in-flight and queue-depth gauges,
+  and queue-wait vs execute vs end-to-end latency histograms.
+
+The gateway is deliberately independent of the socket machinery: it fronts
+any ``dispatch`` callable returning a :class:`~concurrent.futures.Future`
+(the session passes a closure around :meth:`AgentPool.submit`), which keeps
+admission and fairness unit-testable without processes or sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.config import GatewayConfig
+from repro.runtime.metrics import GatewayMetrics
+
+#: Analyst principal used when a submission does not name one.
+DEFAULT_ANALYST = "anonymous"
+
+
+class QueryRejected(RuntimeError):
+    """The gateway shed a query: an admission limit was exceeded.
+
+    The query was never dispatched (the agents never saw it) and the
+    session remains fully usable — shed-and-retry is the intended
+    backpressure signal for saturating clients.
+    """
+
+    def __init__(self, message: str, *, analyst: str, queued: int, in_flight: int):
+        super().__init__(message)
+        self.analyst = analyst
+        self.queued = queued
+        self.in_flight = in_flight
+
+
+class GatewayClosed(RuntimeError):
+    """The gateway is closed; used internally before mapping to the
+    session's ``SessionClosed``."""
+
+
+@dataclass
+class _Job:
+    """One admitted query travelling through the gateway."""
+
+    analyst: str
+    dispatch: object  # zero-argument callable -> Future resolving to payloads
+    future: Future = field(default_factory=Future)
+    admitted_at: float = field(default_factory=time.monotonic)
+    dispatched_at: float = 0.0
+
+
+class QueryGateway:
+    """Admission control + weighted-fair dispatch in front of a session.
+
+    ``dispatch`` closures are invoked outside the gateway lock (they do real
+    socket writes); all scheduling state is guarded by one small lock.  The
+    pump loop is iterative, so a cascade of dispatch failures (e.g. a broken
+    pool draining a deep queue) cannot overflow the stack.
+    """
+
+    def __init__(
+        self,
+        config: GatewayConfig | None = None,
+        *,
+        max_in_flight_default: int = 8,
+        metrics: GatewayMetrics | None = None,
+        closed_error=GatewayClosed,
+    ):
+        self.config = (config or GatewayConfig()).validate()
+        self.metrics = metrics if metrics is not None else GatewayMetrics()
+        self._closed_error = closed_error
+        self._max_in_flight = self.config.max_in_flight or max_in_flight_default
+        if self._max_in_flight < 1:
+            raise ValueError(f"gateway needs max_in_flight >= 1, got {self._max_in_flight}")
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque[_Job]] = {}
+        self._wrr_current: dict[str, int] = {}
+        self._in_flight_total = 0
+        self._in_flight: dict[str, int] = {}
+        self._closed: BaseException | None = None
+
+    # -- introspection ----------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight_total
+
+    def queued(self, analyst: str | None = None) -> int:
+        with self._lock:
+            if analyst is not None:
+                queue = self._queues.get(analyst)
+                return len(queue) if queue else 0
+            return sum(len(q) for q in self._queues.values())
+
+    # -- admission --------------------------------------------------------------------
+
+    def submit(self, analyst: str, dispatch) -> Future:
+        """Admit one query: dispatch now, queue, or shed with ``QueryRejected``.
+
+        Returns the gateway-level future resolving to whatever the dispatch
+        future resolves to.  A dispatch that raises synchronously (e.g. an
+        unserializable frame) re-raises here for immediately dispatched
+        queries and fails the future for queued ones.
+        """
+        job = _Job(analyst=analyst, dispatch=dispatch)
+        with self._lock:
+            if self._closed is not None:
+                raise self._closed_error(f"gateway is closed: {self._closed}")
+            self.metrics.inc("queries_submitted")
+            queue = self._queues.get(analyst)
+            if (queue is None or not queue) and self._has_slot(analyst):
+                self._mark_dispatched(analyst)
+                dispatch_now = True
+            else:
+                self._check_shed(analyst)
+                if queue is None:
+                    queue = self._queues[analyst] = deque()
+                queue.append(job)
+                self.metrics.inc("queries_queued")
+                self._update_queue_gauges()
+                dispatch_now = False
+        if dispatch_now:
+            error = self._dispatch(job)
+            if error is not None:
+                self._pump()
+                raise error
+        return job.future
+
+    def _has_slot(self, analyst: str) -> bool:
+        """Caller holds the lock."""
+        if self._in_flight_total >= self._max_in_flight:
+            return False
+        per_analyst = self.config.max_in_flight_per_analyst
+        if per_analyst is not None and self._in_flight.get(analyst, 0) >= per_analyst:
+            return False
+        return True
+
+    def _check_shed(self, analyst: str) -> None:
+        """Caller holds the lock; raises ``QueryRejected`` on a full queue."""
+        total_queued = sum(len(q) for q in self._queues.values())
+        queue = self._queues.get(analyst)
+        analyst_queued = len(queue) if queue else 0
+        reason = None
+        if (
+            self.config.max_queue_depth is not None
+            and total_queued >= self.config.max_queue_depth
+        ):
+            reason = f"gateway queue is full ({total_queued}/{self.config.max_queue_depth})"
+        elif (
+            self.config.max_queue_per_analyst is not None
+            and analyst_queued >= self.config.max_queue_per_analyst
+        ):
+            reason = (
+                f"analyst {analyst!r} queue is full "
+                f"({analyst_queued}/{self.config.max_queue_per_analyst})"
+            )
+        if reason is None:
+            return
+        self.metrics.inc("queries_rejected")
+        raise QueryRejected(
+            f"query shed: {reason}; retry later or raise the session's GatewayConfig limits",
+            analyst=analyst,
+            queued=total_queued,
+            in_flight=self._in_flight_total,
+        )
+
+    # -- dispatch / scheduling --------------------------------------------------------
+
+    def _mark_dispatched(self, analyst: str) -> None:
+        """Caller holds the lock."""
+        self._in_flight_total += 1
+        self._in_flight[analyst] = self._in_flight.get(analyst, 0) + 1
+        self.metrics.set_gauge("in_flight", self._in_flight_total)
+
+    def _release(self, analyst: str) -> None:
+        with self._lock:
+            self._in_flight_total -= 1
+            remaining = self._in_flight.get(analyst, 0) - 1
+            if remaining > 0:
+                self._in_flight[analyst] = remaining
+            else:
+                self._in_flight.pop(analyst, None)
+            self.metrics.set_gauge("in_flight", self._in_flight_total)
+
+    def _update_queue_gauges(self) -> None:
+        """Caller holds the lock."""
+        self.metrics.set_gauge("queue_depth", sum(len(q) for q in self._queues.values()))
+
+    def _select_analyst(self) -> str | None:
+        """Smooth weighted round-robin over analysts with dispatchable work.
+
+        Caller holds the lock.  The classic nginx algorithm: every eligible
+        analyst gains its weight, the largest accumulated credit wins and
+        pays back the total — over time dispatch opportunities converge to
+        the weight proportions, with a deterministic, starvation-free order.
+        """
+        candidates = [
+            analyst
+            for analyst, queue in self._queues.items()
+            if queue and self._has_slot(analyst)
+        ]
+        if not candidates:
+            return None
+        weights = {
+            analyst: self.config.analyst_weights.get(analyst, self.config.default_weight)
+            for analyst in candidates
+        }
+        for analyst in candidates:
+            self._wrr_current[analyst] = self._wrr_current.get(analyst, 0) + weights[analyst]
+        # Deterministic tie-break by name so tests (and incident timelines)
+        # are reproducible.
+        best = max(sorted(candidates), key=lambda a: self._wrr_current[a])
+        self._wrr_current[best] -= sum(weights.values())
+        return best
+
+    def _pump(self) -> None:
+        """Dispatch queued work while slots last (iterative, lock-chunked)."""
+        while True:
+            with self._lock:
+                if self._closed is not None or self._in_flight_total >= self._max_in_flight:
+                    return
+                analyst = self._select_analyst()
+                if analyst is None:
+                    return
+                queue = self._queues[analyst]
+                job = queue.popleft()
+                if not queue:
+                    del self._queues[analyst]
+                    self._wrr_current.pop(analyst, None)
+                self._mark_dispatched(analyst)
+                self._update_queue_gauges()
+            error = self._dispatch(job)
+            if error is not None:
+                job.future.set_exception(error)
+
+    def _dispatch(self, job: _Job) -> BaseException | None:
+        """Invoke the dispatch closure (outside the lock); wire completion.
+
+        Returns the synchronous dispatch error, if any, with the slot
+        already released — the caller decides whether to re-raise (inline
+        submissions) or fail the job future (queued submissions).
+        """
+        job.dispatched_at = time.monotonic()
+        self.metrics.observe("queue_wait_seconds", job.dispatched_at - job.admitted_at)
+        try:
+            inner: Future = job.dispatch()
+        except BaseException as exc:  # noqa: BLE001 - dispatch failure sheds one query
+            self._release(job.analyst)
+            self.metrics.inc("queries_failed")
+            return exc
+        self.metrics.inc("queries_admitted")
+        inner.add_done_callback(lambda finished: self._on_done(job, finished))
+        return None
+
+    def _on_done(self, job: _Job, finished: Future) -> None:
+        now = time.monotonic()
+        self._release(job.analyst)
+        self.metrics.observe("execute_seconds", now - job.dispatched_at)
+        self.metrics.observe("query_seconds", now - job.admitted_at)
+        error = finished.exception()
+        if error is not None:
+            self.metrics.inc("queries_failed")
+            if not job.future.done():
+                job.future.set_exception(error)
+        else:
+            self.metrics.inc("queries_completed")
+            if not job.future.done():
+                job.future.set_result(finished.result())
+        self._pump()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self, reason: BaseException | None = None) -> None:
+        """Stop admitting and dispatching; fail every queued query.
+
+        Already-dispatched queries are untouched (their futures resolve via
+        the pool as usual) — ``close`` only empties the waiting room.
+        """
+        with self._lock:
+            if self._closed is not None:
+                return
+            self._closed = reason or self._closed_error("gateway closed")
+            jobs = [job for queue in self._queues.values() for job in queue]
+            self._queues.clear()
+            self._wrr_current.clear()
+            self._update_queue_gauges()
+            failure = self._closed
+        for job in jobs:
+            if not job.future.done():
+                job.future.set_exception(
+                    self._closed_error(f"query was still queued when the session closed: {failure}")
+                )

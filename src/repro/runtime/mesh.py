@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.runtime.transport import TransportError
-from repro.runtime.wire import WireError, recv_frame, send_frame
+from repro.runtime.wire import LinkStats, WireError, recv_frame, send_frame
 
 KIND_MSG = "msg"
 KIND_TABLE = "table"
@@ -86,6 +86,12 @@ class PeerMesh:
         self.timeout = timeout
         self._socks = dict(connections)
         self._send_locks = {p: threading.Lock() for p in self._socks}
+        #: Per-peer wire accounting: every mesh frame (data and abort alike)
+        #: is counted by full wire size on both ends, so the metrics layer
+        #: can report bytes-on-wire per party pair without ever seeing a
+        #: payload.  Counting starts after the handshake hellos (both ends
+        #: symmetrically), so sent/received totals mirror across peers.
+        self.link_stats: dict[str, LinkStats] = {p: LinkStats() for p in self._socks}
         # (kind, query_id, peer) -> FIFO queue, created lazily under _lock.
         self._lock = threading.Lock()
         self._queues: dict[tuple[str, int, str], queue.Queue] = {}
@@ -163,7 +169,9 @@ class PeerMesh:
                     # A long-lived mesh is idle between queries; a timeout
                     # with no frame started is not an error.  (Timeouts on
                     # blocked *consumers* are enforced by queue.get.)
-                    frame = recv_frame(sock, allow_idle_timeout=True)
+                    frame = recv_frame(
+                        sock, allow_idle_timeout=True, stats=self.link_stats[peer]
+                    )
                 except TimeoutError:
                     continue
                 try:
@@ -207,7 +215,7 @@ class PeerMesh:
         except KeyError:
             raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
         with self._send_locks[peer]:
-            send_frame(sock, (kind, query_id, payload))
+            send_frame(sock, (kind, query_id, payload), stats=self.link_stats[peer])
 
     def _receive(self, peer: str, kind: str, query_id: int) -> Any:
         if peer not in self._socks:
@@ -231,6 +239,10 @@ class PeerMesh:
                 f"peer {peer!r} aborted query {query_id}: {item.reason}"
             )
         return item
+
+    def traffic(self) -> dict[str, dict]:
+        """Immutable per-peer wire totals: ``{peer: {bytes_sent, ...}}``."""
+        return {peer: stats.snapshot() for peer, stats in self.link_stats.items()}
 
     def send_abort(self, query_id: int, reason: str) -> None:
         """Tell every peer this agent's execution of ``query_id`` failed."""

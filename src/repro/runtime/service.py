@@ -34,9 +34,11 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
-from repro.core.config import CompilationConfig
-from repro.runtime.agent import agent_main
+from repro.core.config import CompilationConfig, GatewayConfig
+from repro.runtime.agent import AGENT_MAX_WORKERS, agent_main
+from repro.runtime.gateway import DEFAULT_ANALYST, QueryGateway, QueryRejected  # noqa: F401
 from repro.runtime.mesh import bind_listener
+from repro.runtime.metrics import GatewayMetrics, MetricsServer
 from repro.runtime.transport import TransportError
 from repro.runtime.wire import WireError, encode_frame, recv_frame, send_frame
 
@@ -185,11 +187,13 @@ class AgentPool:
         timeout: float = 60.0,
         idle_timeout: float | None = None,
         start_method: str | None = None,
+        max_workers: int = AGENT_MAX_WORKERS,
         on_retire=None,
     ):
         self.parties = list(parties)
         self.timeout = timeout
         self.idle_timeout = idle_timeout
+        self.max_workers = max_workers
         self._on_retire = on_retire
         self._retired = False
         self._lock = threading.Lock()
@@ -201,6 +205,9 @@ class AgentPool:
         self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
         self._connections: dict[str, socket.socket] = {}
         self._receivers: list[threading.Thread] = []
+        #: Latest per-party wire-traffic snapshot (reported by each agent on
+        #: every query completion), for the session's bytes-on-wire metrics.
+        self._wire_traffic: dict[str, dict] = {}
 
         ctx = multiprocessing.get_context(start_method)
         listener = bind_listener(timeout)
@@ -225,6 +232,7 @@ class AgentPool:
                     "parties": self.parties,
                     "timeout": timeout,
                     "idle_timeout": idle_timeout,
+                    "max_workers": max_workers,
                     "inputs": inputs.get(party, {}),
                 }))
 
@@ -363,6 +371,8 @@ class AgentPool:
 
     def _resolve(self, party: str, query_id: int, payload=None, error=None) -> None:
         with self._lock:
+            if payload is not None and "wire_traffic" in payload:
+                self._wire_traffic[party] = payload["wire_traffic"]
             entry = self._pending.get(query_id)
             if entry is None:
                 return  # query already failed wholesale (e.g. a peer died)
@@ -464,6 +474,18 @@ class AgentPool:
     def in_flight(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def wire_traffic(self) -> dict[str, dict]:
+        """Latest per-party mesh traffic: ``{party: {peer: {bytes_sent, ...}}}``.
+
+        Each party's entry is the cumulative snapshot its agent reported
+        with its most recent query result (deep-copied: safe to hand out).
+        """
+        with self._lock:
+            return {
+                party: {peer: dict(stats) for peer, stats in traffic.items()}
+                for party, traffic in self._wire_traffic.items()
+            }
 
     def close(self, *, drain: bool = True) -> None:
         """Shut the pool down; with ``drain``, in-flight queries finish first."""
@@ -577,29 +599,52 @@ class QuerySession:
         idle_timeout: float | None = None,
         start_method: str | None = None,
         runtime_label: str = "service",
+        max_workers: int = AGENT_MAX_WORKERS,
+        gateway: GatewayConfig | None = None,
     ):
+        if not isinstance(max_workers, int) or isinstance(max_workers, bool) or max_workers < 1:
+            raise ValueError(f"max_workers must be an int >= 1, got {max_workers!r}")
         self.parties = list(parties)
         self.config = config or CompilationConfig()
         self.seed = seed
         self.runtime_label = runtime_label
-        self.stats = {"queries": 0, "plan_cache_hits": 0, "plan_cache_misses": 0}
         self._submit_lock = threading.Lock()
         # Next query id, advanced only on successful dispatch (under the
         # submit lock) so a failed submission leaves no id gap — the mesh's
         # released-id watermark relies on ids being contiguous.
         self._next_qid = 1
         self._shipped_fingerprints: set[str] = set()
+        self._metrics = GatewayMetrics()
+        self._metrics_server: MetricsServer | None = None
+        # The gateway fronts the pool: it must exist before the pool so the
+        # retire callback (which may fire from a receiver thread the moment
+        # the pool is up) can always close it.
+        self._gateway = QueryGateway(
+            gateway,
+            max_in_flight_default=max_workers,
+            metrics=self._metrics,
+            closed_error=SessionClosed,
+        )
         self._pool = AgentPool(
             self.parties,
             inputs=inputs,
             timeout=timeout,
             idle_timeout=idle_timeout,
             start_method=start_method,
-            on_retire=lambda: _ACTIVE_SESSIONS.discard(self),
+            max_workers=max_workers,
+            on_retire=self._pool_retired,
         )
+        self._metrics.set_wire_provider(self._pool.wire_traffic)
         _ACTIVE_SESSIONS.add(self)
         if self._pool._retired:  # lost the race against an immediate retire
             _ACTIVE_SESSIONS.discard(self)
+
+    def _pool_retired(self) -> None:
+        """Pool retired (broken or idle): fail queued queries, drop registries."""
+        _ACTIVE_SESSIONS.discard(self)
+        pool = getattr(self, "_pool", None)
+        broken = pool.broken if pool is not None else None
+        self._gateway.close(broken if isinstance(broken, Exception) else None)
 
     # -- submission --------------------------------------------------------------------
 
@@ -609,14 +654,23 @@ class QuerySession:
         inputs: dict | None = None,
         seed: int | None = None,
         config: CompilationConfig | None = None,
+        *,
+        analyst: str = DEFAULT_ANALYST,
     ) -> PendingResult:
-        """Dispatch one query to the standing agents; returns immediately.
+        """Admit one query through the gateway; returns immediately.
 
         ``query`` is a compiled plan (preferred — compile once, submit many)
         or anything :func:`repro.core.compiler.compile_query` accepts.
         ``inputs`` optionally overrides the session's standing inputs for
         this query only (per party; parties not named keep their standing
-        inputs).  ``seed``/``config`` default to the session's.
+        inputs).  ``seed``/``config`` default to the session's.  ``analyst``
+        names the submitting principal for admission control and fair
+        scheduling; queries of unnamed analysts share one default principal.
+
+        Raises :class:`~repro.runtime.gateway.QueryRejected` when the
+        session's :class:`~repro.core.config.GatewayConfig` queue limits are
+        exceeded — the query was shed before reaching the agents and the
+        session stays fully usable.
         """
         from repro.core.compiler import CompiledQuery, compile_query
 
@@ -624,10 +678,23 @@ class QuerySession:
         compiled = query if isinstance(query, CompiledQuery) else compile_query(query, config)
         fingerprint = plan_fingerprint(compiled)
         started = time.perf_counter()
-        # One lock around fingerprint bookkeeping *and* frame dispatch: the
-        # control links are FIFO per party, so holding the lock guarantees
-        # the plan-bearing frame reaches every agent before any frame that
-        # references the plan by fingerprint alone.
+        query_seed = self.seed if seed is None else seed
+        future = self._gateway.submit(
+            analyst,
+            lambda: self._dispatch_query(compiled, fingerprint, config, query_seed, inputs),
+        )
+        return PendingResult(self, compiled, future, started)
+
+    def _dispatch_query(
+        self, compiled, fingerprint: str, config, seed: int, inputs: dict | None
+    ) -> Future:
+        """Frame one admitted query out to the agents (gateway dispatch hook).
+
+        One lock around fingerprint bookkeeping *and* frame dispatch: the
+        control links are FIFO per party, so holding the lock guarantees the
+        plan-bearing frame reaches every agent before any frame that
+        references the plan by fingerprint alone.
+        """
         with self._submit_lock:
             ship = fingerprint not in self._shipped_fingerprints
             query_id = self._next_qid
@@ -636,16 +703,20 @@ class QuerySession:
                 fingerprint,
                 compiled if ship else None,
                 config,
-                self.seed if seed is None else seed,
+                seed,
                 inputs,
             )
             # Only now is the id consumed: a submit that raised (e.g. its
             # frame failed to encode) shipped nothing, so the id is reused.
             self._next_qid += 1
             self._shipped_fingerprints.add(fingerprint)
-            self.stats["queries"] += 1
-            self.stats["plan_cache_misses" if ship else "plan_cache_hits"] += 1
-        return PendingResult(self, compiled, future, started)
+            # One atomic multi-increment: any stats snapshot satisfies
+            # plan_cache_hits + plan_cache_misses == queries.
+            self._metrics.inc_many({
+                "queries": 1,
+                "plan_cache_misses" if ship else "plan_cache_hits": 1,
+            })
+        return future
 
     def submit(
         self,
@@ -654,9 +725,73 @@ class QuerySession:
         seed: int | None = None,
         config: CompilationConfig | None = None,
         timeout: float | None = None,
+        *,
+        analyst: str = DEFAULT_ANALYST,
     ):
         """Execute one query on the standing agents and block for its result."""
-        return self.submit_async(query, inputs=inputs, seed=seed, config=config).result(timeout)
+        return self.submit_async(
+            query, inputs=inputs, seed=seed, config=config, analyst=analyst
+        ).result(timeout)
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """An immutable snapshot of the session's metrics (plain dicts).
+
+        Every read returns a fresh, internally consistent copy — mutating it
+        never touches live state, and ``plan_cache_hits + plan_cache_misses
+        == queries`` holds in any snapshot, even one taken concurrently with
+        submissions.  Beyond the legacy counters it carries the gateway
+        counters/gauges, latency summaries (queue-wait, execute, end-to-end)
+        and per-party bytes-on-wire.
+        """
+        snapshot = self._metrics.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        return {
+            "queries": counters.get("queries", 0),
+            "plan_cache_hits": counters.get("plan_cache_hits", 0),
+            "plan_cache_misses": counters.get("plan_cache_misses", 0),
+            "queries_submitted": counters.get("queries_submitted", 0),
+            "queries_rejected": counters.get("queries_rejected", 0),
+            "queries_completed": counters.get("queries_completed", 0),
+            "queries_failed": counters.get("queries_failed", 0),
+            "in_flight": int(gauges.get("in_flight", 0)),
+            "queued": int(gauges.get("queue_depth", 0)),
+            "latency": snapshot["latency"],
+            "wire": snapshot["wire"],
+        }
+
+    @property
+    def metrics(self) -> GatewayMetrics:
+        """The session's live metric registry (counters/gauges/histograms)."""
+        return self._metrics
+
+    @property
+    def gateway(self) -> QueryGateway:
+        """The session's admission-control gateway."""
+        return self._gateway
+
+    def queued(self) -> int:
+        """Queries admitted but still waiting in the gateway."""
+        return self._gateway.queued()
+
+    def render_prometheus(self) -> str:
+        """The session's metrics in the Prometheus text exposition format."""
+        return self._metrics.render_prometheus()
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0) -> MetricsServer:
+        """Start (or return) the session's local ``GET /metrics`` endpoint.
+
+        Binds an ephemeral localhost port by default; the returned server's
+        ``url`` is the scrape target.  Closed automatically with the session.
+        """
+        if self._metrics_server is None:
+            self._metrics_server = MetricsServer(
+                self._metrics.render_prometheus, host=host, port=port
+            )
+        return self._metrics_server
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -668,8 +803,16 @@ class QuerySession:
         return self._pool.in_flight()
 
     def close(self, *, drain: bool = True) -> None:
-        """Drain in-flight queries (unless ``drain=False``) and retire the agents."""
+        """Drain in-flight queries (unless ``drain=False``) and retire the agents.
+
+        Queries still *queued* in the gateway fail with
+        :class:`SessionClosed`; already-dispatched queries drain as before.
+        """
+        self._gateway.close(SessionClosed("session closed"))
         self._pool.close(drain=drain)
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         _ACTIVE_SESSIONS.discard(self)
 
     def __enter__(self) -> "QuerySession":
@@ -688,13 +831,20 @@ def open_session(
     timeout: float = 60.0,
     idle_timeout: float | None = None,
     start_method: str | None = None,
+    max_workers: int = AGENT_MAX_WORKERS,
+    gateway: GatewayConfig | None = None,
 ) -> QuerySession:
     """Open a persistent query session over one agent process per party.
 
     ``inputs`` maps party name -> {relation name -> Table} and becomes the
     session's standing data (each ``submit`` may override it per query);
-    ``parties`` defaults to the input owners.  Close the session explicitly
-    or use it as a context manager::
+    ``parties`` defaults to the input owners.  ``max_workers`` bounds how
+    many queries each agent executes concurrently (also the default
+    in-flight cap of the gateway); ``gateway`` sets the session's admission
+    control and fair-scheduling limits (:class:`~repro.core.config
+    .GatewayConfig` — the default admits without queue limits, preserving
+    pre-gateway behaviour).  Close the session explicitly or use it as a
+    context manager::
 
         with cc.open_session(inputs) as session:
             for plan in plans:
@@ -712,6 +862,8 @@ def open_session(
         timeout=timeout,
         idle_timeout=idle_timeout,
         start_method=start_method,
+        max_workers=max_workers,
+        gateway=gateway,
     )
 
 

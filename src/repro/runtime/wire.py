@@ -27,6 +27,7 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
+import threading
 
 #: Upper bound on a single frame; a frame larger than this indicates stream
 #: corruption (e.g. a desynchronised header), not a legitimate payload.
@@ -37,6 +38,45 @@ _HEADER = struct.Struct(">I")
 
 class WireError(ConnectionError):
     """A connection failed mid-frame or produced a corrupt frame."""
+
+
+class LinkStats:
+    """Byte/frame counters for one connection, safe for concurrent writers.
+
+    The metrics layer observes *traffic shape* (bytes and frame counts per
+    link), never payload contents — monitoring stays on the right side of
+    the privacy boundary.  A sender thread and the peer-facing reader thread
+    update the same instance, so the tiny increments take a lock.
+    """
+
+    __slots__ = ("_lock", "bytes_sent", "bytes_received", "frames_sent", "frames_received")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def add_sent(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_sent += nbytes
+            self.frames_sent += 1
+
+    def add_received(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_received += nbytes
+            self.frames_received += 1
+
+    def snapshot(self) -> dict:
+        """An immutable, internally consistent copy of the counters."""
+        with self._lock:
+            return {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "frames_sent": self.frames_sent,
+                "frames_received": self.frames_received,
+            }
 
 
 def encode_frame(obj: object) -> bytes:
@@ -89,27 +129,43 @@ class FrameDecoder:
             )
 
 
-def send_frame(sock: socket.socket, obj: object) -> None:
-    """Serialise ``obj`` and write it as one length-prefixed frame."""
+def send_frame(sock: socket.socket, obj: object, *, stats: LinkStats | None = None) -> None:
+    """Serialise ``obj`` and write it as one length-prefixed frame.
+
+    With ``stats``, the frame's full wire size (header + payload) is counted
+    once the write completed.
+    """
     data = encode_frame(obj)
     try:
         sock.sendall(data)
     except OSError as exc:
         raise WireError(f"failed to send {len(data)}-byte frame: {exc}") from exc
+    if stats is not None:
+        stats.add_sent(len(data))
 
 
-def recv_frame(sock: socket.socket, *, allow_idle_timeout: bool = False) -> object:
+def recv_frame(
+    sock: socket.socket,
+    *,
+    allow_idle_timeout: bool = False,
+    stats: LinkStats | None = None,
+) -> object:
     """Read one length-prefixed frame and unpickle it.
 
     With ``allow_idle_timeout`` a socket timeout that fires *before any byte
     of the frame arrived* is re-raised as :class:`TimeoutError` (the stream
     is merely idle); a timeout mid-frame is still a :class:`WireError`.
+    With ``stats``, the frame's full wire size (header + payload) is counted
+    once the frame was read completely.
     """
     header = _recv_exact(sock, _HEADER.size, allow_idle_timeout=allow_idle_timeout)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise WireError(f"incoming frame claims {length} bytes; stream is corrupt")
-    return pickle.loads(_recv_exact(sock, length))
+    payload = _recv_exact(sock, length)
+    if stats is not None:
+        stats.add_received(_HEADER.size + length)
+    return pickle.loads(payload)
 
 
 def _recv_exact(sock: socket.socket, n: int, *, allow_idle_timeout: bool = False) -> bytes:

@@ -248,3 +248,35 @@ class TestRunQuerySocketsHelper:
         socketed = cc.run_query(ctx, inputs, runtime="sockets")
         assert simulated.outputs["out"] == socketed.outputs["out"]
         assert socketed.mpc_profile == {}
+
+
+class TestWireAccounting:
+    def test_session_wire_totals_are_symmetric_across_peers(self):
+        """Every byte one party counts as sent, its peer counts as received.
+
+        The agents report cumulative per-peer mesh traffic with each query
+        result; after sequential (non-overlapping) queries the mesh is
+        quiescent at every completion, so the ledgers must mirror exactly:
+        A->B bytes_sent == B's bytes_received from A, for every ordered pair.
+        """
+        ctx, inputs, _output = quickstart_query()
+        compiled = cc.compile_query(ctx)
+        session = cc.open_session(inputs, seed=11)
+        try:
+            for _ in range(2):
+                session.submit(compiled, timeout=120)
+            wire = session.stats["wire"]
+            parties = sorted(inputs)
+            assert sorted(wire) == parties
+            total = 0
+            for a in parties:
+                for b in parties:
+                    if a == b:
+                        continue
+                    sent = wire[a][b]["bytes_sent"]
+                    assert sent == wire[b][a]["bytes_received"], (a, b, wire)
+                    assert wire[a][b]["frames_sent"] == wire[b][a]["frames_received"]
+                    total += sent
+            assert total > 0, "an MPC query must move bytes between parties"
+        finally:
+            session.close()
