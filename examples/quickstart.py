@@ -14,8 +14,8 @@ Run with::
 
     python examples/quickstart.py [runtime]
 
-where ``runtime`` is ``simulated`` (default), ``sockets``, ``service`` or
-``gateway``:
+where ``runtime`` is ``simulated`` (default), ``sockets``, ``service``,
+``gateway`` or ``recovery``:
 
 * ``sockets`` executes the same query with one OS process per party, moving
   all cross-party traffic (including the secret-sharing rounds) over real
@@ -27,7 +27,12 @@ where ``runtime`` is ``simulated`` (default), ``sockets``, ``service`` or
   the configured queue limits is shed with an explicit ``QueryRejected``
   (never a silent unbounded backlog), and the session's live metrics —
   latency percentiles, shed counts, bytes on the wire — are printed from
-  its Prometheus scrape endpoint.
+  its Prometheus scrape endpoint;
+* ``recovery`` demonstrates supervision: a deterministic fault plan kills
+  one party's agent in the middle of the second query's MPC exchange; the
+  supervisor restarts it, rejoins it to the surviving mesh, the interrupted
+  query is retried transparently, and every result is identical to the
+  fault-free run.
 """
 
 import sys
@@ -129,6 +134,49 @@ def main(runtime: str = "simulated"):
             for line in session.render_prometheus().splitlines():
                 if line.startswith("conclave_queries"):
                     print(f"  {line}")
+        print()
+    elif runtime == "recovery":
+        # Supervision + crash recovery: a seeded fault plan hard-kills the
+        # beta agent (os._exit, sockets torn down by the kernel) after its
+        # 3rd mesh frame of query 2.  The supervisor detects the death,
+        # restarts the agent, rejoins it to the surviving mesh, and the
+        # RetryPolicy replays the interrupted query — the loop below never
+        # sees an error, and every result matches the fault-free first one.
+        import time
+
+        from repro.core.config import RestartPolicy, RetryPolicy
+        from repro.runtime.faults import FaultPlan, KillFault
+
+        faults = FaultPlan(
+            kills=(KillFault(parties[1], at_query=2, after_mesh_frames=3),)
+        )
+        with cc.open_session(
+            inputs,
+            restart=RestartPolicy(backoff_seconds=0.05),
+            retry=RetryPolicy(max_attempts=3),
+            faults=faults,
+        ) as session:
+            result = first = session.submit(compiled)
+            restarts_seen = session.stats["restarts"]
+            for i in range(1, 3):
+                t0 = time.perf_counter()
+                result = session.submit(compiled)
+                now = session.stats["restarts"]
+                # Fault counters are per process lifetime, so the replacement
+                # inherits the plan and dies again at *its* 2nd query — both
+                # loop iterations exercise a full crash/restart/retry cycle.
+                label = (
+                    "agent killed mid-MPC, restarted, query retried"
+                    if now > restarts_seen
+                    else "warm"
+                )
+                restarts_seen = now
+                print(f"query {i + 1}: {time.perf_counter() - t0:.3f}s  [{label}]")
+                assert result.outputs == first.outputs, "recovery changed the result!"
+            stats = session.stats
+            print(f"restarts={stats['restarts']} retries={stats['retries']} "
+                  f"recovery p50="
+                  f"{stats['latency']['recovery_seconds']['p50']*1e3:.0f}ms")
         print()
     elif runtime == "sockets":
         result = cc.SocketCoordinator(parties, inputs).run(compiled)

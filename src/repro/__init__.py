@@ -67,6 +67,8 @@ from repro.core import (
     CompilationConfig,
     CompiledQuery,
     GatewayConfig,
+    RestartPolicy,
+    RetryPolicy,
     EstimatedOOM,
     EstimatorParams,
     FLOAT,
@@ -89,7 +91,11 @@ from repro.core import (
 )
 from repro.data import ColumnDef, ColumnType, Schema, Table, read_csv, write_csv
 from repro.runtime import (
+    AgentFailure,
+    FaultPlan,
     GatewayMetrics,
+    KillFault,
+    LinkFault,
     QueryRejected,
     QuerySession,
     SessionClosed,
@@ -116,6 +122,8 @@ __all__ = [
     "CompilationConfig",
     "CompiledQuery",
     "GatewayConfig",
+    "RestartPolicy",
+    "RetryPolicy",
     "EstimatedOOM",
     "EstimatorParams",
     "FLOAT",
@@ -141,7 +149,11 @@ __all__ = [
     "Table",
     "read_csv",
     "write_csv",
+    "AgentFailure",
+    "FaultPlan",
     "GatewayMetrics",
+    "KillFault",
+    "LinkFault",
     "QueryRejected",
     "QuerySession",
     "SessionClosed",

@@ -23,7 +23,7 @@ The sub-modules follow the paper's structure:
 """
 
 from repro.core.compiler import CompiledQuery, CompilationReport, compile_query, run_query
-from repro.core.config import CompilationConfig, GatewayConfig
+from repro.core.config import CompilationConfig, GatewayConfig, RestartPolicy, RetryPolicy
 from repro.core.dispatch import QueryResult, QueryRunner, SecurityError
 from repro.core.estimator import EstimatedOOM, EstimatorParams, PlanEstimate, PlanEstimator
 from repro.core.expr import Expr, col, lit
@@ -53,6 +53,8 @@ __all__ = [
     "CompilationReport",
     "CompilationConfig",
     "GatewayConfig",
+    "RestartPolicy",
+    "RetryPolicy",
     "compile_query",
     "run_query",
     "QueryResult",

@@ -48,6 +48,110 @@ class CompilationConfig:
 
 
 @dataclass
+class RestartPolicy:
+    """How the service runtime supervises and restarts crashed party agents.
+
+    Passing a policy to :func:`repro.runtime.service.open_session` turns on
+    the :class:`~repro.runtime.supervisor.AgentSupervisor`: an agent process
+    that dies (control-link EOF, or missed heartbeats when
+    :attr:`heartbeat_interval_seconds` is set) is restarted with exponential
+    backoff, re-joined to the surviving agents' TCP mesh, and re-armed with
+    the session's standing inputs — instead of the crash breaking the whole
+    session.  A party that keeps dying exhausts its *restart budget*
+    (:attr:`max_restarts` deaths within :attr:`window_seconds`) and escalates
+    to a permanent failure: the session breaks with a structured
+    :class:`~repro.runtime.service.AgentFailure` carrying the attempt
+    history.
+    """
+
+    #: Restart budget: deaths of one party tolerated within
+    #: :attr:`window_seconds` before the failure is declared permanent.
+    max_restarts: int = 5
+    #: Sliding window (seconds) the restart budget is counted over.
+    window_seconds: float = 60.0
+    #: Backoff before the first restart attempt (seconds); doubled per
+    #: consecutive attempt for the same party up to
+    #: :attr:`max_backoff_seconds`.
+    backoff_seconds: float = 0.05
+    #: Multiplier applied to the backoff after each consecutive restart.
+    backoff_multiplier: float = 2.0
+    #: Upper bound on the per-attempt backoff (seconds).
+    max_backoff_seconds: float = 5.0
+    #: Interval between supervisor heartbeat pings on each control link.
+    #: ``None`` disables heartbeats (death is then detected only via
+    #: control-link EOF — a crashed process, not a wedged one).
+    heartbeat_interval_seconds: float | None = 1.0
+    #: Consecutive missed heartbeats after which a silent agent is declared
+    #: dead and its process killed (triggering the restart path).
+    heartbeat_misses: int = 5
+
+    def validate(self) -> "RestartPolicy":
+        if not isinstance(self.max_restarts, int) or self.max_restarts < 1:
+            raise ValueError(f"RestartPolicy.max_restarts must be an int >= 1, got {self.max_restarts!r}")
+        for name in ("window_seconds", "backoff_seconds", "max_backoff_seconds"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"RestartPolicy.{name} must be a number >= 0, got {value!r}")
+        if not isinstance(self.backoff_multiplier, (int, float)) or self.backoff_multiplier < 1:
+            raise ValueError(
+                f"RestartPolicy.backoff_multiplier must be a number >= 1, got {self.backoff_multiplier!r}"
+            )
+        if self.heartbeat_interval_seconds is not None and (
+            not isinstance(self.heartbeat_interval_seconds, (int, float))
+            or isinstance(self.heartbeat_interval_seconds, bool)
+            or self.heartbeat_interval_seconds <= 0
+        ):
+            raise ValueError(
+                "RestartPolicy.heartbeat_interval_seconds must be a number > 0 or None, "
+                f"got {self.heartbeat_interval_seconds!r}"
+            )
+        if not isinstance(self.heartbeat_misses, int) or self.heartbeat_misses < 1:
+            raise ValueError(
+                f"RestartPolicy.heartbeat_misses must be an int >= 1, got {self.heartbeat_misses!r}"
+            )
+        return self
+
+
+@dataclass
+class RetryPolicy:
+    """How the gateway retries queries that failed for *infrastructure*
+    reasons (an agent crash mid-query, a mesh link death or timeout).
+
+    Queries are pure functions of (plan, inputs, seed), so replaying one is
+    always safe: a retried query re-executes from scratch on the recovered
+    mesh and produces byte-identical results.  Only infrastructure failures
+    are retried — a query that raised a real error (``SecurityError``, a bad
+    plan, an engine bug) fails immediately on every attempt count.
+    """
+
+    #: Total attempts per query (1 = no retry).
+    max_attempts: int = 3
+    #: Also retry queries whose *primary* error is a transport-level failure
+    #: reported by a live agent (e.g. a mesh timeout after a dropped frame),
+    #: not just coordinator-detected agent crashes.
+    retry_transport_errors: bool = True
+    #: Backoff before the first retry (seconds), doubled per attempt.
+    backoff_seconds: float = 0.05
+    #: Multiplier applied to the backoff after each retry.
+    backoff_multiplier: float = 2.0
+    #: Upper bound on the per-retry backoff (seconds).
+    max_backoff_seconds: float = 2.0
+
+    def validate(self) -> "RetryPolicy":
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ValueError(f"RetryPolicy.max_attempts must be an int >= 1, got {self.max_attempts!r}")
+        for name in ("backoff_seconds", "max_backoff_seconds"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"RetryPolicy.{name} must be a number >= 0, got {value!r}")
+        if not isinstance(self.backoff_multiplier, (int, float)) or self.backoff_multiplier < 1:
+            raise ValueError(
+                f"RetryPolicy.backoff_multiplier must be a number >= 1, got {self.backoff_multiplier!r}"
+            )
+        return self
+
+
+@dataclass
 class GatewayConfig:
     """Admission-control and fair-scheduling limits of a query session.
 

@@ -67,6 +67,13 @@ __all__ = [
     "GatewayMetrics",
     "LatencyHistogram",
     "MetricsServer",
+    "AgentFailure",
+    "AgentCrashed",
+    "AgentSupervisor",
+    "FaultPlan",
+    "KillFault",
+    "LinkFault",
+    "FaultInjector",
 ]
 
 _LAZY = {
@@ -85,6 +92,13 @@ _LAZY = {
     "GatewayMetrics": ("repro.runtime.metrics", "GatewayMetrics"),
     "LatencyHistogram": ("repro.runtime.metrics", "LatencyHistogram"),
     "MetricsServer": ("repro.runtime.metrics", "MetricsServer"),
+    "AgentFailure": ("repro.runtime.service", "AgentFailure"),
+    "AgentCrashed": ("repro.runtime.service", "AgentCrashed"),
+    "AgentSupervisor": ("repro.runtime.supervisor", "AgentSupervisor"),
+    "FaultPlan": ("repro.runtime.faults", "FaultPlan"),
+    "KillFault": ("repro.runtime.faults", "KillFault"),
+    "LinkFault": ("repro.runtime.faults", "LinkFault"),
+    "FaultInjector": ("repro.runtime.faults", "FaultInjector"),
 }
 
 

@@ -27,6 +27,16 @@ Lifecycle and robustness:
   ``("closing", "idle-timeout")`` and exits.
 * **Drain on shutdown** — a ``shutdown`` frame stops intake, waits for
   in-flight queries to finish, then exits cleanly.
+* **Supervision** — a ``ping`` frame is answered with ``pong`` *without*
+  counting as activity (heartbeats must not defeat the idle timeout); a
+  ``rejoin`` frame parks the agent in :func:`~repro.runtime.mesh
+  .accept_rejoin` for a restarted peer's epoch-tagged dial and swaps the
+  fresh connection into the mesh; a session bundle with ``rejoin=True``
+  makes this agent itself the replacement — it dials every survivor via
+  :func:`~repro.runtime.mesh.rejoin_mesh` instead of the rank-ordered
+  initial handshake.  A ``faults`` entry in the bundle arms a
+  :class:`~repro.runtime.faults.FaultInjector` (deterministic kills at
+  query intake, frame faults at mesh sends) for the chaos tests.
 * **Loud failure** — a query that raises reports ``("error", qid, ...)`` to
   the coordinator and (via the executor's abort broadcast) poisons the
   peers' per-query mesh queues, so every in-flight participant fails fast
@@ -46,8 +56,19 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.runtime.mesh import PeerMesh, bind_listener, connect_mesh
+from repro.runtime.mesh import (
+    PeerMesh,
+    accept_rejoin,
+    bind_listener,
+    connect_mesh,
+    rejoin_mesh,
+)
 from repro.runtime.wire import recv_frame, send_frame
+
+#: How long a survivor waits in ``accept`` for a restarted peer's rejoin
+#: dial before reporting failure back to the supervisor (which then burns a
+#: restart-budget slot and tries again).
+REJOIN_ACCEPT_SECONDS = 15.0
 
 #: Default upper bound on queries one agent executes concurrently.  The
 #: session frame may override it per session (``max_workers`` on
@@ -160,6 +181,12 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
         max_workers = bundle.get("max_workers") or AGENT_MAX_WORKERS
         if not isinstance(max_workers, int) or max_workers < 1:
             raise ValueError(f"agent {party!r} got invalid max_workers {max_workers!r}")
+        injector = None
+        faults = bundle.get("faults")
+        if faults:
+            from repro.runtime.faults import FaultInjector
+
+            injector = FaultInjector(faults, party)
 
         # Deterministic port assignment: bind an ephemeral port (the OS
         # picks a free one) and let the coordinator broadcast the map.
@@ -168,11 +195,23 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
         tag, ports = recv_frame(control)
         if tag != "peers":
             raise RuntimeError(f"agent {party!r} expected a peers frame, got {tag!r}")
-        mesh = connect_mesh(party, parties, ports, listener, timeout=run_timeout)
+        if bundle.get("rejoin"):
+            # Replacement for a crashed agent: the survivors are parked in
+            # accept by the supervisor's rejoin broadcast — dial them all.
+            mesh = rejoin_mesh(
+                party, parties, ports, timeout=run_timeout,
+                epoch=bundle["epoch"], injector=injector,
+                released_watermark=bundle.get("released_watermark", 0),
+            )
+        else:
+            mesh = connect_mesh(
+                party, parties, ports, listener, timeout=run_timeout, injector=injector
+            )
 
         agent = PartyAgent(party, parties, mesh, session_inputs=bundle.get("inputs"))
         send_frame(control, ("ready", None))
-        _serve(agent, control, run_timeout, idle_timeout, max_workers)
+        _serve(agent, control, run_timeout, idle_timeout, max_workers,
+               injector=injector, listener=listener)
     except BaseException as exc:  # noqa: BLE001 - everything must reach the coordinator
         try:
             send_frame(control, ("fatal", _picklable(exc), traceback.format_exc()))
@@ -198,6 +237,9 @@ def _serve(
     timeout: float,
     idle_timeout: float | None,
     max_workers: int = AGENT_MAX_WORKERS,
+    *,
+    injector=None,
+    listener: socket.socket | None = None,
 ) -> None:
     """The agent's query-serving loop (runs until shutdown/idle/EOF)."""
     send_lock = threading.Lock()
@@ -253,6 +295,11 @@ def _serve(
                     return
                 continue
             tag = frame[0]
+            if tag == "ping":
+                # Heartbeats deliberately do NOT touch last_activity: a
+                # supervised-but-unused agent must still idle out.
+                reply(("pong", frame[1]))
+                continue
             with state_lock:
                 last_activity = time.monotonic()
             if tag == "shutdown":
@@ -261,9 +308,34 @@ def _serve(
                 pool = None
                 reply(("closing", "shutdown"))
                 return
+            if tag == "rejoin":
+                # A crashed peer's replacement is about to dial us: park in
+                # accept until its epoch-tagged hello arrives, then swap the
+                # fresh connection into the mesh.  Failure is reported, not
+                # fatal — the supervisor retries the whole restart.
+                info = frame[1]
+                peer, peer_epoch = info["party"], info["epoch"]
+                try:
+                    if listener is None or agent.mesh is None:
+                        raise RuntimeError(
+                            f"agent {agent.party!r} cannot accept a rejoin without a mesh"
+                        )
+                    sock = accept_rejoin(
+                        listener, agent.party, peer, peer_epoch,
+                        info.get("timeout", REJOIN_ACCEPT_SECONDS),
+                    )
+                    agent.mesh.replace_peer(peer, sock)
+                except Exception as exc:  # noqa: BLE001 - report, do not die
+                    reply(("rejoined", {"party": peer, "epoch": peer_epoch,
+                                        "ok": False, "error": str(exc)}))
+                else:
+                    reply(("rejoined", {"party": peer, "epoch": peer_epoch, "ok": True}))
+                continue
             if tag != "query":
                 raise RuntimeError(f"agent {agent.party!r} received unknown frame {tag!r}")
             job = frame[1]
+            if injector is not None:
+                injector.on_query_intake(job["query_id"])
             if job.get("compiled") is not None:
                 agent.register_plan(job["fingerprint"], job["compiled"])
             with state_lock:

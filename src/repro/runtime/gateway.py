@@ -49,11 +49,23 @@ class QueryRejected(RuntimeError):
     backpressure signal for saturating clients.
     """
 
-    def __init__(self, message: str, *, analyst: str, queued: int, in_flight: int):
+    def __init__(
+        self,
+        message: str,
+        *,
+        analyst: str,
+        queued: int,
+        in_flight: int,
+        retry_after_seconds: float = 0.1,
+    ):
         super().__init__(message)
         self.analyst = analyst
         self.queued = queued
         self.in_flight = in_flight
+        #: Data-driven backoff hint: roughly how long the gateway expects the
+        #: congestion to take to clear, derived from the session's observed
+        #: queue-wait latency (see :meth:`QueryGateway._retry_after_hint`).
+        self.retry_after_seconds = retry_after_seconds
 
 
 class GatewayClosed(RuntimeError):
@@ -185,7 +197,25 @@ class QueryGateway:
             analyst=analyst,
             queued=total_queued,
             in_flight=self._in_flight_total,
+            retry_after_seconds=self._retry_after_hint(),
         )
+
+    def _retry_after_hint(self) -> float:
+        """How long a shed client should wait before retrying.
+
+        The median *observed* queue wait is the best single predictor of how
+        fast this session drains one queue slot — a client that waits that
+        long will, in the median case, find a free slot.  Clamped to
+        [50 ms, 30 s] so a cold histogram or a pathological outlier never
+        produces a useless hint; 100 ms before any query ever queued.
+        """
+        histogram = self.metrics.histogram("queue_wait_seconds")
+        if histogram is None:
+            return 0.1
+        p50 = histogram.percentile(50.0)
+        if p50 <= 0.0:
+            return 0.1
+        return max(0.05, min(p50, 30.0))
 
     # -- dispatch / scheduling --------------------------------------------------------
 

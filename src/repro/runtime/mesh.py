@@ -30,11 +30,29 @@ All blocking reads carry a timeout, so a crashed peer surfaces as a
 :class:`MeshTimeout` instead of a wedged process; a peer whose connection
 *dies* poisons every existing and future queue for that peer, so in-flight
 and not-yet-started reads fail loudly.
+
+Supervision support (the fault-tolerant service runtime):
+
+* every outgoing frame carries a per-link **sequence number**; the receiver
+  discards non-increasing sequences, so a duplicated frame (fault injection,
+  or an application-level retransmit) can never desynchronise the lockstep
+  MPC protocol;
+* :meth:`PeerMesh.replace_peer` swaps in a fresh connection for a peer whose
+  process was restarted — the old socket is closed, its poison marks
+  cleared, and a new reader thread takes over (stale readers of the replaced
+  socket are generation-guarded so they cannot re-poison the healthy peer);
+* :func:`rejoin_mesh` / :func:`accept_rejoin` are the two ends of the
+  restart handshake: the replacement agent dials every *live* peer with an
+  epoch-tagged hello, survivors accept exactly one matching connection
+  (draining stale-epoch strays left by failed restart attempts);
+* an optional :class:`~repro.runtime.faults.FaultInjector` hooks every send,
+  so drop/dup/delay/torn faults happen at the real choke point.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import socket
 import threading
 import time
@@ -42,7 +60,14 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.runtime.transport import TransportError
-from repro.runtime.wire import LinkStats, WireError, recv_frame, send_frame
+from repro.runtime.wire import (
+    LinkStats,
+    WireError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+    send_torn_frame,
+)
 
 KIND_MSG = "msg"
 KIND_TABLE = "table"
@@ -81,11 +106,23 @@ class _QueryAborted:
 class PeerMesh:
     """Bidirectional frame channels from one agent to every other agent."""
 
-    def __init__(self, party: str, connections: dict[str, socket.socket], timeout: float = 60.0):
+    def __init__(
+        self,
+        party: str,
+        connections: dict[str, socket.socket],
+        timeout: float = 60.0,
+        *,
+        injector=None,
+        released_watermark: int = 0,
+    ):
         self.party = party
         self.timeout = timeout
         self._socks = dict(connections)
         self._send_locks = {p: threading.Lock() for p in self._socks}
+        # Per-link outgoing sequence numbers (reset to 0 when a peer link is
+        # replaced, so the replacement's reader starts fresh).
+        self._send_seq = {p: 0 for p in self._socks}
+        self._injector = injector
         #: Per-peer wire accounting: every mesh frame (data and abort alike)
         #: is counted by full wire size on both ends, so the metrics layer
         #: can report bytes-on-wire per party pair without ever seeing a
@@ -105,16 +142,22 @@ class PeerMesh:
         # (every id <= watermark is released) and stays bounded by the
         # number of concurrently in-flight queries.
         self._released: set[int] = set()
-        self._released_watermark = 0
+        # A replacement agent joining mid-session inherits the coordinator's
+        # released-id watermark, so late frames for long-finished queries are
+        # dropped instead of accumulating in queues nothing drains.
+        self._released_watermark = released_watermark
         self._closed = False
         self._readers = []
         for peer, sock in self._socks.items():
-            thread = threading.Thread(
-                target=self._read_loop, args=(peer, sock), daemon=True,
-                name=f"mesh-reader-{party}-{peer}",
-            )
-            thread.start()
-            self._readers.append(thread)
+            self._start_reader(peer, sock)
+
+    def _start_reader(self, peer: str, sock: socket.socket) -> None:
+        thread = threading.Thread(
+            target=self._read_loop, args=(peer, sock), daemon=True,
+            name=f"mesh-reader-{self.party}-{peer}",
+        )
+        thread.start()
+        self._readers.append(thread)
 
     @property
     def peers(self) -> set[str]:
@@ -163,6 +206,7 @@ class PeerMesh:
         # kind) must surface as _PeerClosed at the consumers, not silently
         # kill the reader thread and degrade every later read into a
         # root-cause-free MeshTimeout.
+        last_seq = 0  # highest sequence number seen on *this* connection
         try:
             while True:
                 try:
@@ -175,13 +219,16 @@ class PeerMesh:
                 except TimeoutError:
                     continue
                 try:
-                    kind, query_id, payload = frame
+                    seq, kind, query_id, payload = frame
                     if kind not in _DATA_KINDS and kind != KIND_ABORT:
                         raise ValueError(kind)
                 except (TypeError, ValueError):
                     raise WireError(
                         f"malformed mesh frame from {peer!r}: {type(frame).__name__}"
                     ) from None
+                if seq <= last_seq:
+                    continue  # duplicated frame: already delivered, discard
+                last_seq = seq
                 if kind == KIND_ABORT:
                     self._mark_aborted(peer, query_id, payload)
                     continue
@@ -189,15 +236,49 @@ class PeerMesh:
                 if q is not None:  # None: query released; drop the late frame
                     q.put(payload)
         except Exception as exc:  # noqa: BLE001 - reader thread must never die silently
-            self._mark_peer_closed(peer, exc)
+            self._mark_peer_closed(peer, exc, sock)
 
-    def _mark_peer_closed(self, peer: str, exc: Exception) -> None:
+    def _mark_peer_closed(self, peer: str, exc: Exception, sock: socket.socket | None = None) -> None:
         with self._lock:
+            # Generation guard: a reader of a socket that has since been
+            # *replaced* (the peer restarted) must not poison the healthy
+            # replacement link.  Only the reader of the current socket may
+            # declare the peer dead.
+            if sock is not None and self._socks.get(peer) is not sock:
+                return
             self._peer_errors[peer] = exc
             existing = [q for (k, _qid, p), q in self._queues.items()
                         if p == peer and k in _DATA_KINDS]
         for q in existing:
             q.put(_PeerClosed(exc))
+
+    def replace_peer(self, peer: str, sock: socket.socket) -> None:
+        """Swap in a fresh connection for a restarted ``peer`` (add-or-replace).
+
+        Clears the peer's poison mark so new queues work again, resets the
+        outgoing sequence counter (the replacement's reader starts from 0),
+        keeps the cumulative :class:`LinkStats` (wire totals span restarts),
+        and starts a reader for the new socket.  Queues poisoned *before*
+        the swap keep their sentinels — in-flight consumers of the dead link
+        must still fail so the query layer can retry on the fresh one.
+        """
+        with self._lock:
+            old = self._socks.get(peer)
+            self._socks[peer] = sock
+            self._send_locks.setdefault(peer, threading.Lock())
+            self._send_seq[peer] = 0
+            self.link_stats.setdefault(peer, LinkStats())
+            self._peer_errors.pop(peer, None)
+        if old is not None and old is not sock:
+            try:
+                old.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._start_reader(peer, sock)
 
     def _mark_aborted(self, peer: str, query_id: int, reason: str) -> None:
         with self._lock:
@@ -215,7 +296,37 @@ class PeerMesh:
         except KeyError:
             raise TransportError(f"agent {self.party!r} has no mesh link to {peer!r}") from None
         with self._send_locks[peer]:
-            send_frame(sock, (kind, query_id, payload), stats=self.link_stats[peer])
+            # The sequence number is consumed even for dropped frames — a
+            # drop simulates loss *after* the sender committed the send, so
+            # the receiver sees a gap, never a reused number.
+            seq = self._send_seq.get(peer, 0) + 1
+            self._send_seq[peer] = seq
+            frame = (seq, kind, query_id, payload)
+            fault = None if self._injector is None else self._injector.on_mesh_send(peer, query_id)
+            if fault is None:
+                send_frame(sock, frame, stats=self.link_stats[peer])
+            elif fault.action == "drop":
+                pass  # silently lost: the peer's consumer starves into MeshTimeout
+            elif fault.action == "delay":
+                self._injector.apply_delay(fault)
+                send_frame(sock, frame, stats=self.link_stats[peer])
+            elif fault.action == "dup":
+                data = encode_frame(frame)
+                try:
+                    sock.sendall(data)
+                    sock.sendall(data)
+                except OSError as exc:
+                    raise WireError(f"failed to send {len(data)}-byte frame: {exc}") from exc
+                self.link_stats[peer].add_sent(len(data))
+                self.link_stats[peer].add_sent(len(data))
+            elif fault.action == "torn":
+                try:
+                    send_torn_frame(sock, frame)
+                except WireError:
+                    pass  # the peer may already be gone; die regardless
+                self._injector.die()
+            else:  # pragma: no cover - validate() rejects unknown actions
+                send_frame(sock, frame, stats=self.link_stats[peer])
 
     def _receive(self, peer: str, kind: str, query_id: int) -> Any:
         if peer not in self._socks:
@@ -373,6 +484,8 @@ def connect_mesh(
     ports: dict[str, int],
     listener: socket.socket,
     timeout: float = 60.0,
+    *,
+    injector=None,
 ) -> PeerMesh:
     """Establish the full mesh for ``party`` given every agent's port.
 
@@ -400,22 +513,119 @@ def connect_mesh(
             raise TransportError(f"agent {party!r} received a malformed mesh hello: {hello!r}")
         connections[peer] = sock
 
-    return PeerMesh(party, connections, timeout=timeout)
+    return PeerMesh(party, connections, timeout=timeout, injector=injector)
 
 
-def _dial(party: str, peer: str, port: int, timeout: float) -> socket.socket:
+def rejoin_mesh(
+    party: str,
+    parties: list[str],
+    ports: dict[str, int],
+    timeout: float = 60.0,
+    *,
+    epoch: int,
+    injector=None,
+    released_watermark: int = 0,
+) -> PeerMesh:
+    """Build the mesh for a *restarted* ``party`` joining a live session.
+
+    Unlike :func:`connect_mesh`'s rank-ordered dial/accept split, a rejoining
+    agent always **dials** every surviving peer (survivors are parked in
+    ``accept`` by the supervisor's rejoin broadcast) and introduces itself
+    with an epoch-tagged hello, so survivors can tell this restart's
+    connection apart from a stale one left over by an earlier failed attempt.
+    ``ports`` holds only the *live* peers — a peer that is itself down is
+    absent and will dial us once its own restart reaches this point.
+    """
+    connections: dict[str, socket.socket] = {}
+    try:
+        for peer in sorted(p for p in parties if p != party and p in ports):
+            connections[peer] = _dial(
+                party, peer, ports[peer], timeout, hello=("rejoin-hello", party, epoch)
+            )
+    except Exception:
+        for sock in connections.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        raise
+    return PeerMesh(
+        party, connections, timeout=timeout,
+        injector=injector, released_watermark=released_watermark,
+    )
+
+
+def accept_rejoin(
+    listener: socket.socket,
+    party: str,
+    peer: str,
+    epoch: int,
+    timeout: float,
+) -> socket.socket:
+    """Survivor side of the restart handshake: accept ``peer``'s rejoin dial.
+
+    Accepts connections off ``listener`` until one presents the expected
+    ``("rejoin-hello", peer, epoch)``; anything else — a stale hello from an
+    earlier restart attempt of the same peer, a malformed frame, a dead
+    connection — is closed and draining continues.  Raises
+    :class:`MeshTimeout` when the deadline passes first.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise MeshTimeout(
+                f"agent {party!r} timed out waiting for {peer!r} (epoch {epoch}) to rejoin"
+            )
+        listener.settimeout(remaining)
+        try:
+            sock, _addr = listener.accept()
+        except (socket.timeout, OSError) as exc:
+            raise MeshTimeout(
+                f"agent {party!r} timed out waiting for {peer!r} (epoch {epoch}) to rejoin"
+            ) from exc
+        sock.settimeout(timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            frame = recv_frame(sock)
+        except (WireError, OSError):
+            sock.close()
+            continue
+        if frame == ("rejoin-hello", peer, epoch):
+            return sock
+        sock.close()  # stale epoch / unexpected party: drain and keep waiting
+
+
+def _dial(
+    party: str,
+    peer: str,
+    port: int,
+    timeout: float,
+    *,
+    hello: tuple | None = None,
+) -> socket.socket:
+    """Dial ``peer`` with jittered exponential backoff until the retry window
+    closes.  The jitter is deterministic per (party, peer, port) — restarts
+    replay identically — while still decorrelating the parties of one mesh,
+    so N agents dialling a slow starter don't retry in lockstep."""
     deadline = time.monotonic() + min(_DIAL_RETRY_SECONDS, timeout)
+    rng = random.Random(f"{party}->{peer}:{port}")
+    delay = 0.02
     last_error: Exception | None = None
-    while time.monotonic() < deadline:
+    while True:
         try:
             sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
             sock.settimeout(timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            send_frame(sock, ("hello", party))
+            send_frame(sock, hello if hello is not None else ("hello", party))
             return sock
         except OSError as exc:
             last_error = exc
-            time.sleep(0.05)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(remaining, delay * (0.5 + rng.random())))
+        delay = min(delay * 2, 0.5)
     raise TransportError(
         f"agent {party!r} could not reach peer {peer!r} on port {port}: {last_error}"
     )

@@ -200,6 +200,11 @@ class GatewayMetrics:
         with self._lock:
             return self._gauges.get(name, 0)
 
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        """The live histogram named ``name`` (``None`` before first observe)."""
+        with self._lock:
+            return self._histograms.get(name)
+
     def _wire_snapshot(self) -> dict:
         with self._lock:
             provider = self._wire_provider

@@ -34,11 +34,12 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
-from repro.core.config import CompilationConfig, GatewayConfig
+from repro.core.config import CompilationConfig, GatewayConfig, RestartPolicy, RetryPolicy
 from repro.runtime.agent import AGENT_MAX_WORKERS, agent_main
 from repro.runtime.gateway import DEFAULT_ANALYST, QueryGateway, QueryRejected  # noqa: F401
 from repro.runtime.mesh import bind_listener
 from repro.runtime.metrics import GatewayMetrics, MetricsServer
+from repro.runtime.supervisor import AgentSupervisor
 from repro.runtime.transport import TransportError
 from repro.runtime.wire import WireError, encode_frame, recv_frame, send_frame
 
@@ -60,7 +61,29 @@ def active_sessions() -> list:
 
 
 class AgentFailure(RuntimeError):
-    """An agent process failed without a reconstructable exception."""
+    """An agent process failed without a reconstructable exception.
+
+    Permanent failures raised by the supervision layer (an exhausted restart
+    budget, exhausted query retries) carry an ``attempts`` attribute: a list
+    of per-attempt records (``party``/``attempt``/``outcome``/``cause`` for
+    restarts, ``attempt``/``error`` for query retries) so the caller can see
+    the whole failure history, not just the last straw.
+    """
+
+    #: Structured per-attempt history; empty for ordinary failures.
+    attempts: list = ()
+
+
+class AgentCrashed(AgentFailure):
+    """An agent died mid-query under supervision: the query is *retryable*.
+
+    Queries are pure functions of (plan, inputs, seed), so once the
+    supervisor has restarted the crashed agent and re-joined the mesh, a
+    replayed query produces byte-identical results.  The session's
+    :class:`~repro.core.config.RetryPolicy` layer catches this marker and
+    replays automatically; callers without a retry policy may do the same by
+    resubmitting after :meth:`AgentPool.wait_recovered`.
+    """
 
 
 class SessionClosed(RuntimeError):
@@ -189,12 +212,17 @@ class AgentPool:
         start_method: str | None = None,
         max_workers: int = AGENT_MAX_WORKERS,
         on_retire=None,
+        restart: RestartPolicy | None = None,
+        faults=None,
+        metrics: GatewayMetrics | None = None,
+        on_restart=None,
     ):
         self.parties = list(parties)
         self.timeout = timeout
         self.idle_timeout = idle_timeout
         self.max_workers = max_workers
         self._on_retire = on_retire
+        self._on_restart = on_restart
         self._retired = False
         self._lock = threading.Lock()
         self._pending: dict[int, _PendingQuery] = {}
@@ -208,39 +236,45 @@ class AgentPool:
         #: Latest per-party wire-traffic snapshot (reported by each agent on
         #: every query completion), for the session's bytes-on-wire metrics.
         self._wire_traffic: dict[str, dict] = {}
+        #: Standing state the supervisor re-ships to a replacement agent.
+        self._inputs = dict(inputs or {})
+        self._faults = faults
+        #: Each agent's mesh listener port, kept current across restarts so
+        #: a replacement can be told where the survivors listen.
+        self._ports: dict[str, int] = {}
+        #: Parties currently dead-and-being-restarted.  While non-empty the
+        #: pool refuses submissions with the retryable :class:`AgentCrashed`.
+        self._recovering: set[str] = set()
+        self._healthy = threading.Event()
+        self._healthy.set()
+        #: Highest query id ever framed out, used as the released-id
+        #: watermark a replacement agent starts its mesh from.
+        self._last_query_id = 0
+        self._supervisor: AgentSupervisor | None = None
 
-        ctx = multiprocessing.get_context(start_method)
+        self._ctx = multiprocessing.get_context(start_method)
         listener = bind_listener(timeout)
         port = listener.getsockname()[1]
         try:
             for party in self.parties:
-                proc = ctx.Process(
-                    target=agent_main,
-                    args=(party, "127.0.0.1", port, timeout),
-                    daemon=True,
-                    name=f"conclave-agent-{party}",
-                )
-                proc.start()
-                self._processes[party] = proc
-                _ACTIVE_PROCESSES.add(proc)
+                self._processes[party] = self._spawn_agent(party, port)
 
             self._connections = self._accept_agents(listener)
             self._send_locks = {p: threading.Lock() for p in self._connections}
-            inputs = inputs or {}
             for party, sock in self._connections.items():
                 send_frame(sock, ("session", {
                     "parties": self.parties,
                     "timeout": timeout,
                     "idle_timeout": idle_timeout,
                     "max_workers": max_workers,
-                    "inputs": inputs.get(party, {}),
+                    "inputs": self._inputs.get(party, {}),
+                    "faults": faults.for_party(party) if faults else None,
                 }))
 
-            ports = {}
             for party, sock in self._connections.items():
-                ports[party] = self._expect(party, sock, "ports")
+                self._ports[party] = self._expect(party, sock, "ports")
             for sock in self._connections.values():
-                send_frame(sock, ("peers", ports))
+                send_frame(sock, ("peers", dict(self._ports)))
             # Wait for the mesh to be fully established at every agent, so
             # an open pool is a *working* pool (handshake bugs fail here,
             # not inside the first submit).
@@ -262,6 +296,21 @@ class AgentPool:
             )
             thread.start()
             self._receivers.append(thread)
+        # The supervisor comes up last: its heartbeat/restart machinery must
+        # only ever observe a fully established pool.
+        if restart is not None:
+            self._supervisor = AgentSupervisor(self, restart, metrics=metrics)
+
+    def _spawn_agent(self, party: str, port: int):
+        proc = self._ctx.Process(
+            target=agent_main,
+            args=(party, "127.0.0.1", port, self.timeout),
+            daemon=True,
+            name=f"conclave-agent-{party}",
+        )
+        proc.start()
+        _ACTIVE_PROCESSES.add(proc)
+        return proc
 
     # -- handshake ---------------------------------------------------------------------
 
@@ -311,8 +360,14 @@ class AgentPool:
         with self._lock:
             if self._closed or self._broken is not None:
                 raise SessionClosed(self._closed_message())
+            if self._recovering:
+                raise AgentCrashed(
+                    f"agents {sorted(self._recovering)} are being restarted; "
+                    "the query was not dispatched — retry once the pool recovers"
+                )
             entry = _PendingQuery(remaining=set(self.parties))
             self._pending[query_id] = entry
+            self._last_query_id = max(self._last_query_id, query_id)
         # Encode every party's frame *before* sending any: a serialization
         # failure (unpicklable inputs, frame over the cap) then fails only
         # this query — cleanly, with nothing half-shipped — and the session
@@ -338,12 +393,13 @@ class AgentPool:
             raise
         for party, data in frames.items():
             try:
+                sock = self._connections[party]
                 with self._send_locks[party]:
-                    self._connections[party].sendall(data)
+                    sock.sendall(data)
             except OSError as exc:
                 # The receiver loop may race us to the diagnosis; either way
                 # the entry's future is failed before we return.
-                self._party_died(party, exc)
+                self._party_died(party, exc, sock)
                 break
         return entry.future
 
@@ -364,10 +420,16 @@ class AgentPool:
                 elif tag == "closing":
                     self._mark_closing(party, frame[1])
                     return
+                elif tag == "pong":
+                    if self._supervisor is not None:
+                        self._supervisor.note_pong(party, frame[1])
+                elif tag == "rejoined":
+                    if self._supervisor is not None:
+                        self._supervisor.note_rejoined(party, frame[1])
                 else:
                     raise AgentFailure(f"agent {party!r} sent unknown frame {tag!r}")
         except BaseException as exc:  # noqa: BLE001 - control link is gone
-            self._party_died(party, exc)
+            self._party_died(party, exc, sock)
 
     def _resolve(self, party: str, query_id: int, payload=None, error=None) -> None:
         with self._lock:
@@ -387,14 +449,49 @@ class AgentPool:
         if done:
             entry.finish()
 
-    def _party_died(self, party: str, exc: BaseException) -> None:
+    def _party_died(
+        self, party: str, exc: BaseException, sock: socket.socket | None = None
+    ) -> None:
+        supervisor = self._supervisor
         with self._lock:
-            if self._broken is None and not self._closed:
+            # Generation guard: a stale reader (or sender) of a control link
+            # that has since been *replaced* must not re-kill the healthy
+            # replacement.
+            if sock is not None and self._connections.get(party) is not sock:
+                return
+            supervised = (
+                supervisor is not None
+                and not self._closed
+                and self._broken is None
+                and self._closing_reason is None
+                and not self._retired
+            )
+            if supervised:
+                first_report = party not in self._recovering
+                self._recovering.add(party)
+                self._healthy.clear()
+            elif self._broken is None and not self._closed:
                 self._broken = exc
             # Whatever the pool state, leftover in-flight queries must fail
             # loudly — an unresolved future is a deadlocked caller.
             entries = list(self._pending.values())
             self._pending.clear()
+        if supervised:
+            # The crash is recoverable: fail in-flight queries with the
+            # *retryable* marker and hand the party to the supervisor — the
+            # pool stays open and the mesh survivors stay up.
+            if entries:
+                crash = AgentCrashed(
+                    f"agent {party!r} crashed mid-query; a restart is under way "
+                    f"and the query is safe to replay: {exc}"
+                )
+                crash.__cause__ = exc if isinstance(exc, Exception) else None
+                for entry in entries:
+                    if not entry.future.done():
+                        entry.future.set_exception(crash)
+            if first_report:
+                supervisor.notify_death(party, exc)
+            return
         if entries:
             failure = AgentFailure(
                 f"agent {party!r} died mid-session; all in-flight queries failed: {exc}"
@@ -435,6 +532,180 @@ class AgentPool:
             return f"session is no longer usable: {self._broken}"
         return "session is closed"
 
+    # -- supervision hooks (called by AgentSupervisor) ---------------------------------
+
+    def restart_party(self, party: str, epoch: int, supervisor) -> None:
+        """Run the full recovery protocol for a dead ``party``.
+
+        Called from the supervisor's restart worker (strictly serialized).
+        Raises on any failure — the supervisor treats that as a burned
+        restart-budget slot and re-queues the party.
+        """
+        with self._lock:
+            if self._closed or self._broken is not None or self._retired:
+                raise SessionClosed(self._closed_message())
+            survivors = [
+                p for p in self.parties if p != party and p not in self._recovering
+            ]
+        listener = bind_listener(self.timeout)
+        proc = None
+        sock = None
+        try:
+            proc = self._spawn_agent(party, listener.getsockname()[1])
+            try:
+                sock, _addr = listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise AgentFailure(
+                    f"replacement agent {party!r} never connected back"
+                ) from exc
+            sock.settimeout(self.timeout + 10)
+            tag, hello_party = recv_frame(sock)
+            if tag != "hello" or hello_party != party:
+                raise AgentFailure(
+                    f"malformed replacement hello: {(tag, hello_party)!r}"
+                )
+            send_frame(sock, ("session", {
+                "parties": self.parties,
+                "timeout": self.timeout,
+                "idle_timeout": self.idle_timeout,
+                "max_workers": self.max_workers,
+                "inputs": self._inputs.get(party, {}),
+                "faults": self._faults.for_party(party) if self._faults else None,
+                "rejoin": True,
+                "epoch": epoch,
+                # Ids at or below this are finished (or failed-and-retried
+                # under a *new* id): the replacement's mesh drops their late
+                # frames instead of queueing them forever.
+                "released_watermark": self._last_query_id,
+            }))
+            mesh_port = self._expect(party, sock, "ports")
+            # Park every survivor in its rejoin accept *before* handing the
+            # replacement the peer ports — the dial can then never race the
+            # accept.
+            for peer in survivors:
+                with self._send_locks[peer]:
+                    send_frame(self._connections[peer], ("rejoin", {
+                        "party": party, "epoch": epoch, "timeout": self.timeout,
+                    }))
+            send_frame(sock, ("peers", {p: self._ports[p] for p in survivors}))
+            self._expect(party, sock, "ready")
+            supervisor.await_rejoined(survivors, epoch, self.timeout)
+        except BaseException:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if proc is not None:
+                proc.terminate()
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5)
+                _ACTIVE_PROCESSES.discard(proc)
+            raise
+        finally:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._install_replacement(party, proc, sock, mesh_port)
+
+    def _install_replacement(self, party: str, proc, sock: socket.socket, mesh_port: int) -> None:
+        with self._lock:
+            old_proc = self._processes.get(party)
+            old_sock = self._connections.get(party)
+            self._processes[party] = proc
+            self._connections[party] = sock
+            self._send_locks[party] = threading.Lock()
+            self._ports[party] = mesh_port
+            self._recovering.discard(party)
+            recovered = not self._recovering
+        if old_proc is not None and old_proc is not proc:
+            _ACTIVE_PROCESSES.discard(old_proc)
+        if old_sock is not None and old_sock is not sock:
+            try:
+                old_sock.close()
+            except OSError:
+                pass
+        thread = threading.Thread(
+            target=self._receive_loop, args=(party, sock), daemon=True,
+            name=f"pool-recv-{party}",
+        )
+        thread.start()
+        self._receivers.append(thread)
+        if self._on_restart is not None:
+            self._on_restart(party)
+        if recovered:
+            self._healthy.set()
+
+    def fail_permanently(self, party: str, history: list, cause: BaseException) -> None:
+        """Escalation target for an exhausted restart budget: break the pool
+        with a structured, history-carrying :class:`AgentFailure`."""
+        restarts = len([r for r in history if r.get("party") == party])
+        failure = AgentFailure(
+            f"agent {party!r} exhausted its restart budget after {restarts} "
+            f"attempt(s); the session is permanently broken: {cause}"
+        )
+        failure.attempts = [dict(r) for r in history]
+        failure.__cause__ = cause if isinstance(cause, Exception) else None
+        with self._lock:
+            if self._broken is None and not self._closed:
+                self._broken = failure
+            entries = list(self._pending.values())
+            self._pending.clear()
+            self._recovering.discard(party)
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(failure)
+        self._healthy.set()  # wake retry waiters; they observe broken and give up
+        self._retire()
+
+    def wait_recovered(self, timeout: float) -> bool:
+        """Block until no party is mid-restart; False on timeout/broken pool."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._closed or self._broken is not None:
+                    return False
+                if not self._recovering:
+                    return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            self._healthy.wait(timeout=min(remaining, 0.25))
+
+    def live_parties(self) -> list[str]:
+        """Parties with a (believed-)healthy control link right now."""
+        with self._lock:
+            if self._closed or self._broken is not None or self._retired:
+                return []
+            return [p for p in self.parties if p not in self._recovering]
+
+    def send_ping(self, party: str, seq: int) -> bool:
+        """Heartbeat one agent; False when the link is unusable (the
+        receiver-side EOF path owns the actual death diagnosis)."""
+        with self._lock:
+            if self._closed or self._broken is not None or party in self._recovering:
+                return False
+            sock = self._connections.get(party)
+            lock = self._send_locks.get(party)
+        if sock is None or lock is None:
+            return False
+        try:
+            with lock:
+                send_frame(sock, ("ping", seq))
+            return True
+        except (WireError, OSError):
+            return False
+
+    def kill_party(self, party: str, reason: str = "") -> None:
+        """Hard-kill one agent process (heartbeat escalation); the control
+        link EOF then drives the ordinary crash/restart path."""
+        proc = self._processes.get(party)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+
     def _retire(self) -> None:
         """Release OS resources of a pool that can no longer serve queries.
 
@@ -448,6 +719,8 @@ class AgentPool:
             if self._retired:
                 return
             self._retired = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for sock in self._connections.values():
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -495,6 +768,10 @@ class AgentPool:
             self._closed = True
             pending = [e.future for e in self._pending.values()]
             broken = self._broken is not None
+        if self._supervisor is not None:
+            # No restarts during shutdown; also unblocks retry waiters.
+            self._supervisor.stop()
+            self._healthy.set()
         if drain and not broken:
             for future in pending:
                 try:
@@ -601,6 +878,9 @@ class QuerySession:
         runtime_label: str = "service",
         max_workers: int = AGENT_MAX_WORKERS,
         gateway: GatewayConfig | None = None,
+        restart: RestartPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        faults=None,
     ):
         if not isinstance(max_workers, int) or isinstance(max_workers, bool) or max_workers < 1:
             raise ValueError(f"max_workers must be an int >= 1, got {max_workers!r}")
@@ -608,6 +888,9 @@ class QuerySession:
         self.config = config or CompilationConfig()
         self.seed = seed
         self.runtime_label = runtime_label
+        self._retry = retry.validate() if retry is not None else None
+        if faults is not None:
+            faults.validate()
         self._submit_lock = threading.Lock()
         # Next query id, advanced only on successful dispatch (under the
         # submit lock) so a failed submission leaves no id gap — the mesh's
@@ -633,6 +916,10 @@ class QuerySession:
             start_method=start_method,
             max_workers=max_workers,
             on_retire=self._pool_retired,
+            restart=restart,
+            faults=faults,
+            metrics=self._metrics,
+            on_restart=self._party_restarted,
         )
         self._metrics.set_wire_provider(self._pool.wire_traffic)
         _ACTIVE_SESSIONS.add(self)
@@ -645,6 +932,13 @@ class QuerySession:
         pool = getattr(self, "_pool", None)
         broken = pool.broken if pool is not None else None
         self._gateway.close(broken if isinstance(broken, Exception) else None)
+
+    def _party_restarted(self, party: str) -> None:
+        """A replacement agent joined: its plan cache is empty, so every plan
+        must ship again on next use (re-shipping to survivors is harmless —
+        their caches are simply overwritten with identical plans)."""
+        with self._submit_lock:
+            self._shipped_fingerprints.clear()
 
     # -- submission --------------------------------------------------------------------
 
@@ -690,6 +984,106 @@ class QuerySession:
     ) -> Future:
         """Frame one admitted query out to the agents (gateway dispatch hook).
 
+        Without a :class:`~repro.core.config.RetryPolicy` this is one shot:
+        the pool future is handed to the gateway directly.  With one, the
+        gateway gets an *outer* future spanning up to ``max_attempts``
+        replays of infrastructure failures (agent crash, transport error) —
+        so the gateway's in-flight slot, execute-latency observation and
+        completed/failed counters all cover the whole retried query, and a
+        recovered crash is invisible to the analyst apart from latency.
+        """
+        inner = self._dispatch_once(compiled, fingerprint, config, seed, inputs)
+        retry = self._retry
+        if retry is None or retry.max_attempts <= 1:
+            return inner
+        outer: Future = Future()
+        history: list[dict] = []
+
+        def on_first_attempt(finished: Future) -> None:
+            exc = finished.exception()
+            if exc is None:
+                outer.set_result(finished.result())
+                return
+            if not self._retryable(exc):
+                outer.set_exception(exc)
+                return
+            history.append({"attempt": 1, "error": repr(exc)})
+            # Retries run on a dedicated thread: this callback fires on a
+            # pool receiver thread, which must never block on backoff or on
+            # the pool recovering (it may *be* the thread driving recovery
+            # bookkeeping).
+            threading.Thread(
+                target=self._retry_query, daemon=True, name="query-retry",
+                args=(outer, history, compiled, fingerprint, config, seed, inputs, exc),
+            ).start()
+
+        inner.add_done_callback(on_first_attempt)
+        return outer
+
+    def _retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, AgentCrashed):
+            return True
+        return bool(
+            self._retry is not None
+            and self._retry.retry_transport_errors
+            and isinstance(exc, TransportError)
+        )
+
+    def _retry_query(
+        self, outer: Future, history: list, compiled, fingerprint, config, seed, inputs,
+        last_exc: BaseException,
+    ) -> None:
+        retry = self._retry
+        attempt = 2
+        backoff = retry.backoff_seconds
+        while True:
+            # A crash retry is only worth dispatching on a recovered pool;
+            # wait_recovered also notices a permanently broken pool early.
+            if not self._pool.wait_recovered(self._pool.timeout):
+                broken = self._pool.broken
+                if broken is not None:
+                    last_exc = broken
+                break
+            if backoff > 0:
+                time.sleep(backoff)
+            backoff = min(backoff * retry.backoff_multiplier, retry.max_backoff_seconds)
+            self._metrics.inc("queries_retried")
+            try:
+                inner = self._dispatch_once(compiled, fingerprint, config, seed, inputs)
+                exc = inner.exception(timeout=self._pool.timeout * 2)
+            except BaseException as dispatch_exc:  # noqa: BLE001 - recorded + classified below
+                exc = dispatch_exc
+            if exc is None:
+                outer.set_result(inner.result())
+                return
+            history.append({"attempt": attempt, "error": repr(exc)})
+            last_exc = exc
+            if not self._retryable(exc):
+                outer.set_exception(exc)
+                return
+            if attempt >= retry.max_attempts:
+                break
+            attempt += 1
+        self._metrics.inc("retries_exhausted")
+        failure = AgentFailure(
+            f"query failed after {len(history)} attempt(s) "
+            f"(RetryPolicy.max_attempts={retry.max_attempts}); giving up: {last_exc}"
+        )
+        failure.attempts = [dict(r) for r in history]
+        # A permanently broken pool carries the supervisor's restart history;
+        # surface it on the failure the caller actually catches, not only on
+        # the chained cause.
+        supervisor_history = getattr(last_exc, "attempts", None)
+        if supervisor_history:
+            failure.attempts.extend(dict(r) for r in supervisor_history)
+        failure.__cause__ = last_exc if isinstance(last_exc, Exception) else None
+        outer.set_exception(failure)
+
+    def _dispatch_once(
+        self, compiled, fingerprint: str, config, seed: int, inputs: dict | None
+    ) -> Future:
+        """Frame one query attempt out to the agents.
+
         One lock around fingerprint bookkeeping *and* frame dispatch: the
         control links are FIFO per party, so holding the lock guarantees the
         plan-bearing frame reaches every agent before any frame that
@@ -727,11 +1121,28 @@ class QuerySession:
         timeout: float | None = None,
         *,
         analyst: str = DEFAULT_ANALYST,
+        retries: int = 0,
     ):
-        """Execute one query on the standing agents and block for its result."""
-        return self.submit_async(
-            query, inputs=inputs, seed=seed, config=config, analyst=analyst
-        ).result(timeout)
+        """Execute one query on the standing agents and block for its result.
+
+        ``retries`` bounds how many times a submission *shed by the gateway*
+        (:class:`~repro.runtime.gateway.QueryRejected`) is automatically
+        resubmitted, honouring each rejection's ``retry_after_seconds`` hint
+        before trying again.  The default 0 re-raises the first rejection,
+        preserving the explicit shed-and-retry contract for callers that
+        implement their own backoff.
+        """
+        rejections = 0
+        while True:
+            try:
+                return self.submit_async(
+                    query, inputs=inputs, seed=seed, config=config, analyst=analyst
+                ).result(timeout)
+            except QueryRejected as exc:
+                if rejections >= retries:
+                    raise
+                rejections += 1
+                time.sleep(exc.retry_after_seconds)
 
     # -- observability -----------------------------------------------------------------
 
@@ -759,6 +1170,10 @@ class QuerySession:
             "queries_failed": counters.get("queries_failed", 0),
             "in_flight": int(gauges.get("in_flight", 0)),
             "queued": int(gauges.get("queue_depth", 0)),
+            "restarts": counters.get("agent_restarts", 0),
+            "restart_failures": counters.get("agent_restart_failures", 0),
+            "retries": counters.get("queries_retried", 0),
+            "retries_exhausted": counters.get("retries_exhausted", 0),
             "latency": snapshot["latency"],
             "wire": snapshot["wire"],
         }
@@ -833,6 +1248,9 @@ def open_session(
     start_method: str | None = None,
     max_workers: int = AGENT_MAX_WORKERS,
     gateway: GatewayConfig | None = None,
+    restart: RestartPolicy | None = None,
+    retry: RetryPolicy | None = None,
+    faults=None,
 ) -> QuerySession:
     """Open a persistent query session over one agent process per party.
 
@@ -843,8 +1261,18 @@ def open_session(
     in-flight cap of the gateway); ``gateway`` sets the session's admission
     control and fair-scheduling limits (:class:`~repro.core.config
     .GatewayConfig` — the default admits without queue limits, preserving
-    pre-gateway behaviour).  Close the session explicitly or use it as a
-    context manager::
+    pre-gateway behaviour).
+
+    ``restart`` (a :class:`~repro.core.config.RestartPolicy`) turns on agent
+    supervision: a crashed agent process is restarted, re-joined to the
+    surviving mesh and re-armed with the session's standing inputs, instead
+    of the crash breaking the session.  ``retry`` (a
+    :class:`~repro.core.config.RetryPolicy`) makes queries hit by such a
+    crash (or by a transport-level failure) replay transparently — safe
+    because queries are pure functions of (plan, inputs, seed).  ``faults``
+    (a :class:`~repro.runtime.faults.FaultPlan`) arms the deterministic
+    fault-injection harness used by the chaos tests.  Close the session
+    explicitly or use it as a context manager::
 
         with cc.open_session(inputs) as session:
             for plan in plans:
@@ -864,6 +1292,9 @@ def open_session(
         start_method=start_method,
         max_workers=max_workers,
         gateway=gateway,
+        restart=restart,
+        retry=retry,
+        faults=faults,
     )
 
 
@@ -909,7 +1340,22 @@ def close_shared_sessions() -> None:
             pass
 
 
-atexit.register(close_shared_sessions)
+def _close_sessions_at_exit() -> None:
+    """Interpreter-exit safety net: no session may leak agent processes.
+
+    Shared sessions drain and close as usual; explicitly opened sessions the
+    user forgot to close are torn down *without* draining — at exit there is
+    nobody left to consume results, only processes to reap.
+    """
+    close_shared_sessions()
+    for session in list(_ACTIVE_SESSIONS):
+        try:
+            session.close(drain=False)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+atexit.register(_close_sessions_at_exit)
 
 
 def _agent_error(party: str, exc, tb: str) -> BaseException:

@@ -144,6 +144,27 @@ def send_frame(sock: socket.socket, obj: object, *, stats: LinkStats | None = No
         stats.add_sent(len(data))
 
 
+def send_torn_frame(sock: socket.socket, obj: object, fraction: float = 0.6) -> int:
+    """Write only a *prefix* of ``obj``'s frame — a deliberately torn frame.
+
+    Used by the fault-injection layer to reproduce what a process dying
+    mid-``sendall`` looks like from the other end: the header promises a
+    frame the stream can never complete, so the receiver's ``recv_frame``
+    fails with a mid-frame :class:`WireError` (never a silent truncation, as
+    the framing tests assert).  At least the header plus one payload byte is
+    written so the receiver is genuinely *inside* the frame.  Returns the
+    number of bytes written.
+    """
+    data = encode_frame(obj)
+    cut = max(_HEADER.size + 1, int(len(data) * fraction))
+    cut = min(cut, len(data) - 1)
+    try:
+        sock.sendall(data[:cut])
+    except OSError as exc:
+        raise WireError(f"failed to send torn frame: {exc}") from exc
+    return cut
+
+
 def recv_frame(
     sock: socket.socket,
     *,
