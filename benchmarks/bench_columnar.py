@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Benchmark: the columnar executor vs the row engine, and MPC round flatness.
+
+Two measurements, both against the same compiled plans:
+
+* **Cleartext throughput** — a join + aggregate + filter heavy single-party
+  plan (the row engine's per-row Python loops are the hot spots) executed
+  at 1k/10k/100k input rows through both ``executor="row"`` and
+  ``executor="columnar"``.  Reports wall seconds and rows/second per
+  engine, and the columnar speedup.
+* **MPC round flatness** — a two-party MPC aggregate (push-down disabled,
+  so the filter and aggregation run on secret shares) at the same row
+  counts.  The batched share-vector protocols exchange whole columns per
+  protocol round, so the *wire* round count (real barrier-delimited mesh
+  exchanges) must not grow with the relation size; the analytic ``rounds``
+  figure still reflects the underlying comparator networks.
+
+Emits ``BENCH_columnar.json`` (or the path given as the first argument);
+the second argument caps the largest row count for quick CI runs.  Asserts
+byte-identical outputs between the engines at every size, a >= 5x columnar
+speedup at the largest cleartext size (when it is >= 100k rows), and a
+wire-round count that is identical across all MPC sizes.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [out.json] [max_rows]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+import repro as cc
+from repro.core.config import CompilationConfig
+from repro.core.dispatch import QueryRunner
+from repro.core.lang import QueryContext
+from repro.data.schema import ColumnDef, Schema
+from repro.data.table import Table
+
+PARTY_A = "alpha.example"
+PARTY_B = "beta.example"
+SEED = 42
+ROW_COUNTS = [1_000, 10_000, 100_000]
+#: Wall-clock speedup the columnar engine must reach at the largest size.
+TARGET_SPEEDUP = 5.0
+
+
+# -- cleartext throughput ---------------------------------------------------------------------
+
+
+def cleartext_query():
+    """Join + arithmetic + filter + group-by aggregate, all at one party —
+    every operator runs on the cleartext engine under test."""
+    pa = cc.Party(PARTY_A)
+    with QueryContext() as ctx:
+        t0 = ctx.new_table("t0", [cc.Column("k"), cc.Column("v")], at=pa)
+        t1 = ctx.new_table("t1", [cc.Column("k"), cc.Column("w")], at=pa)
+        joined = t0.join(t1, on=[("k", "k")])
+        enriched = joined.with_column("x", cc.col("v") * 3).filter(cc.col("x") > 0)
+        enriched.aggregate(
+            group=["k"], aggs={"s": cc.SUM("x"), "n": cc.COUNT(), "m": cc.MAX("w")}
+        ).collect("out", to=[pa])
+    return ctx
+
+
+def cleartext_inputs(rows: int):
+    rng = np.random.default_rng(SEED)
+    schema_v = Schema([ColumnDef("k"), ColumnDef("v")])
+    schema_w = Schema([ColumnDef("k"), ColumnDef("w")])
+    # ~1:1 join (keys dense in [0, rows)) and ~rows/8 output groups: the
+    # row engine's dict-based join and per-group aggregation loops dominate.
+    return {
+        PARTY_A: {
+            "t0": Table(schema_v, [rng.integers(0, rows, rows), rng.integers(-50, 50, rows)]),
+            "t1": Table(schema_w, [rng.integers(0, rows, rows), rng.integers(0, 100, rows)]),
+        }
+    }
+
+
+def run_cleartext(compiled_ctx, inputs, executor: str):
+    config = CompilationConfig(executor=executor)
+    compiled = cc.compile_query(compiled_ctx, config)
+    runner = QueryRunner([PARTY_A], inputs, config, seed=SEED)
+    start = time.perf_counter()
+    result = runner.run(compiled)
+    return time.perf_counter() - start, result
+
+
+def bench_cleartext(row_counts):
+    ctx = cleartext_query()
+    points = []
+    for rows in row_counts:
+        inputs = cleartext_inputs(rows)
+        row_seconds, row_result = run_cleartext(ctx, inputs, "row")
+        col_seconds, col_result = run_cleartext(ctx, inputs, "columnar")
+        assert col_result.outputs["out"] == row_result.outputs["out"], (
+            f"columnar output diverged from the row engine at {rows} rows"
+        )
+        points.append({
+            "rows": rows,
+            "row_seconds": row_seconds,
+            "columnar_seconds": col_seconds,
+            "row_rows_per_second": rows / row_seconds,
+            "columnar_rows_per_second": rows / col_seconds,
+            "speedup": row_seconds / col_seconds,
+            "output_rows": col_result.outputs["out"].num_rows,
+        })
+        print(
+            f"cleartext {rows:>7} rows: row {row_seconds:7.3f}s  "
+            f"columnar {col_seconds:7.3f}s  speedup {row_seconds / col_seconds:5.1f}x"
+        )
+    return points
+
+
+# -- MPC round flatness -----------------------------------------------------------------------
+
+
+def mpc_query():
+    """Two-party concat + filter + aggregate, kept under MPC by disabling
+    push-down — the share-vector protocols carry whole columns per round."""
+    pa, pb = cc.Party(PARTY_A), cc.Party(PARTY_B)
+    with QueryContext() as ctx:
+        t0 = ctx.new_table("t0", [cc.Column("k"), cc.Column("v")], at=pa)
+        t1 = ctx.new_table("t1", [cc.Column("k"), cc.Column("v")], at=pb)
+        ctx.concat([t0, t1]).filter(cc.col("v") > 0).aggregate(
+            group=["k"], aggs={"s": cc.SUM("v")}
+        ).collect("out", to=[pa])
+    return ctx
+
+
+def mpc_inputs(rows: int):
+    rng = np.random.default_rng(SEED + 1)
+    schema = Schema([ColumnDef("k"), ColumnDef("v")])
+    return {
+        party: {name: Table(schema, [rng.integers(0, 9, rows), rng.integers(-50, 50, rows)])}
+        for party, name in ((PARTY_A, "t0"), (PARTY_B, "t1"))
+    }
+
+
+def bench_mpc(row_counts):
+    ctx = mpc_query()
+    config = CompilationConfig(enable_push_down=False)
+    points = []
+    for rows in row_counts:
+        start = time.perf_counter()
+        result = cc.run_query(ctx, mpc_inputs(rows), config, seed=SEED)
+        seconds = time.perf_counter() - start
+        profile = result.mpc_profile
+        points.append({
+            "rows_per_party": rows,
+            "seconds": seconds,
+            "wire_rounds": profile["wire_rounds"],
+            "analytic_rounds": profile["rounds"],
+            "bytes_sent": profile["bytes_sent"],
+            "comparisons": profile["comparisons"],
+            "multiplications": profile["multiplications"],
+        })
+        print(
+            f"mpc {rows:>7} rows/party: {seconds:7.3f}s  "
+            f"wire_rounds {profile['wire_rounds']:>4}  "
+            f"analytic rounds {profile['rounds']:>8}"
+        )
+    return points
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_columnar.json"
+    max_rows = int(sys.argv[2]) if len(sys.argv) > 2 else ROW_COUNTS[-1]
+    row_counts = [r for r in ROW_COUNTS if r <= max_rows] or [max_rows]
+
+    cleartext = bench_cleartext(row_counts)
+    mpc = bench_mpc(row_counts)
+
+    largest = cleartext[-1]
+    wire_rounds = {p["wire_rounds"] for p in mpc}
+    report = {
+        "benchmark": "columnar",
+        "row_counts": row_counts,
+        "cleartext": cleartext,
+        "mpc": mpc,
+        "speedup_at_largest": largest["speedup"],
+        "wire_rounds_flat": len(wire_rounds) == 1,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {out_path}")
+
+    assert len(wire_rounds) == 1, (
+        f"MPC wire rounds must not grow with relation size, got "
+        f"{[p['wire_rounds'] for p in mpc]}"
+    )
+    if largest["rows"] >= 100_000:
+        assert largest["speedup"] >= TARGET_SPEEDUP, (
+            f"columnar speedup at {largest['rows']} rows is "
+            f"{largest['speedup']:.1f}x, expected >= {TARGET_SPEEDUP}x"
+        )
+    print(
+        f"OK: speedup {largest['speedup']:.1f}x at {largest['rows']} rows, "
+        f"wire rounds flat at {wire_rounds.pop()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

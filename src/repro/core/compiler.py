@@ -138,6 +138,7 @@ def run_query(
     seed: int = 0,
     runtime: str = "simulated",
     timeout: float = 60.0,
+    executor: str | None = None,
 ):
     """Compile and execute a query in one call.
 
@@ -155,10 +156,20 @@ def run_query(
     byte-identical outputs and identical MPC operator counts.  ``timeout``
     (sockets/service only) bounds every blocking socket operation; raise it
     for long-running queries.
+
+    ``executor`` overrides :attr:`CompilationConfig.executor` for this call:
+    ``"columnar"`` runs the cleartext sub-plans on the vectorized batch
+    engine (:mod:`repro.exec`), ``"row"`` on the per-operator table engines.
+    The override travels inside the config, so every runtime — including
+    the standing service agents — honours it.
     """
+    import dataclasses
+
     from repro.core.dispatch import QueryRunner
 
     config = config or CompilationConfig()
+    if executor is not None:
+        config = dataclasses.replace(config, executor=executor)
     compiled = compile_query(query, config)
     parties = sorted(compiled.dag.parties() | set(inputs))
     if runtime == "sockets":

@@ -45,6 +45,17 @@ class CompilationConfig:
     #: Extra per-relation row hints, keyed by relation name (overrides the
     #: default selectivity-based estimates used by the cost estimator).
     row_hints: dict[str, int] = field(default_factory=dict)
+    #: Cleartext execution engine: ``"row"`` (one ``Table`` call per
+    #: operator — the semantic oracle) or ``"columnar"`` (the vectorized
+    #: :mod:`repro.exec` engine running whole-column batches with lazy
+    #: filter masks).  ``"columnar"`` replaces both row engines; the
+    #: differential corpus holds it byte-identical to the row oracle.
+    executor: str = "row"
+    #: Host the runtime's mesh and control listeners bind and advertise to
+    #: peers.  The loopback default keeps single-machine behaviour; set a
+    #: routable address to run agents across real hosts (TLS is a separate,
+    #: still-open roadmap item).
+    bind_host: str = "127.0.0.1"
 
 
 @dataclass

@@ -1,0 +1,40 @@
+"""Columnar vectorized execution engine.
+
+The subsystem has four layers:
+
+* :mod:`repro.exec.batch` — :class:`ColumnBatch`, the mask-carrying
+  columnar data representation;
+* :mod:`repro.exec.kernels` — pure NumPy kernels (vectorized compare /
+  bool / map, mask filters, hash join, sort-based group-by), bit-identical
+  to the row engine's ``Table`` methods;
+* :mod:`repro.exec.engine` — :class:`ColumnarBackend`, the cleartext
+  engine built from those kernels (same interface as ``PythonBackend``);
+* :mod:`repro.exec.executor` — :class:`ColumnarExecutor`, a plan executor
+  pinned to the columnar engine.
+
+Selected at the API surface via ``run_query(..., executor="columnar")``;
+see ``docs/executor.md``.
+"""
+
+from __future__ import annotations
+
+from repro.exec.batch import ColumnBatch
+from repro.exec.engine import ColumnarBackend, ColumnarCostModel
+
+__all__ = [
+    "ColumnBatch",
+    "ColumnarBackend",
+    "ColumnarCostModel",
+    "ColumnarExecutor",
+]
+
+
+def __getattr__(name: str):
+    # Imported lazily: ``exec.executor`` subclasses the runtime's
+    # ``PlanExecutor``, which itself imports this package's engine — an
+    # eager import here would be circular.
+    if name == "ColumnarExecutor":
+        from repro.exec.executor import ColumnarExecutor
+
+        return ColumnarExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,166 @@
+"""Columnar batches: the vectorized executor's data representation.
+
+A :class:`ColumnBatch` is the unit of data flowing through the columnar
+engine (:mod:`repro.exec.engine`): a schema plus one NumPy array per column
+(int64 or float64, exactly the dtypes :class:`~repro.data.table.Table`
+uses) and an optional boolean *validity mask*.  The mask is how filters
+stay cheap — a ``Filter`` operator ANDs its predicate flags into the mask
+instead of copying every surviving row, and downstream per-lane operators
+(``Compare``/``BoolOp``/``Map``) keep computing over all physical lanes.
+Lanes that fail the mask carry garbage results, which is safe because they
+are dropped at the next *compaction point*: any operator whose semantics
+depend on row positions or row count (join, aggregate, sort, distinct,
+limit, enumerate, concat, collect) first calls :meth:`ColumnBatch.compact`
+to materialise only the valid lanes.
+
+Batches are immutable in the same sense tables are: every operation
+returns a new batch, and the underlying arrays are never written in place
+(they may be shared views of a ``Table``'s columns).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import ColumnDef, ColumnType, Schema
+from repro.data.table import Table
+
+
+class ColumnBatch:
+    """A schema-carrying bundle of column arrays with an optional mask."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[np.ndarray] | None = None,
+        mask: np.ndarray | None = None,
+    ):
+        self.schema = schema
+        if columns is None:
+            columns = [np.empty(0, dtype=Table._dtype(c)) for c in schema]
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"schema has {len(schema)} columns but {len(columns)} arrays given"
+            )
+        arrays: list[np.ndarray] = []
+        lanes = None
+        for cdef, col in zip(schema, columns):
+            arr = np.asarray(col, dtype=Table._dtype(cdef))
+            if arr.ndim != 1:
+                raise ValueError("batch columns must be one-dimensional")
+            if lanes is None:
+                lanes = len(arr)
+            elif len(arr) != lanes:
+                raise ValueError("all columns must have the same length")
+            arrays.append(arr)
+        self._columns: tuple[np.ndarray, ...] = tuple(arrays)
+        self._lanes: int = 0 if lanes is None else int(lanes)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if len(mask) != self._lanes:
+                raise ValueError("mask length must match column length")
+        self._mask: np.ndarray | None = mask
+
+    # -- constructors ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table) -> "ColumnBatch":
+        """Wrap a table's columns zero-copy (tables are immutable)."""
+        return cls(table.schema, table.columns())
+
+    def to_table(self) -> Table:
+        """Materialise the valid lanes as a :class:`Table`."""
+        compacted = self.compact()
+        return Table(compacted.schema, compacted._columns)
+
+    # -- accessors ---------------------------------------------------------------------
+
+    @property
+    def lane_count(self) -> int:
+        """Physical lanes, including masked-out ones."""
+        return self._lanes
+
+    @property
+    def num_rows(self) -> int:
+        """Valid (unmasked) rows — the logical row count."""
+        if self._mask is None:
+            return self._lanes
+        return int(self._mask.sum())
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        return self._mask
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """Physical column arrays (views; do not mutate)."""
+        return self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """Physical array for ``name``, including masked-out lanes."""
+        return self._columns[self.schema.index_of(name)]
+
+    def column_values(self, name: str) -> np.ndarray:
+        """Valid lanes of column ``name`` only — cleartext row semantics."""
+        col = self.column(name)
+        if self._mask is None:
+            return col
+        return col[self._mask]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        masked = "" if self._mask is None else f", lanes={self._lanes}"
+        return f"ColumnBatch({self.schema!r}, rows={self.num_rows}{masked})"
+
+    # -- transformations ---------------------------------------------------------------
+
+    def compact(self) -> "ColumnBatch":
+        """Drop masked-out lanes; the result has no mask."""
+        if self._mask is None:
+            return self
+        mask = self._mask
+        return ColumnBatch(self.schema, [col[mask] for col in self._columns])
+
+    def project(self, names: Sequence[str]) -> "ColumnBatch":
+        """Keep only the named columns, in order (mask preserved)."""
+        idx = self.schema.indices_of(list(names))
+        return ColumnBatch(
+            self.schema.project(list(names)),
+            [self._columns[i] for i in idx],
+            self._mask,
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "ColumnBatch":
+        return ColumnBatch(self.schema.rename(mapping), self._columns, self._mask)
+
+    def with_column(
+        self, name: str, values: np.ndarray, ctype: ColumnType | None = None
+    ) -> "ColumnBatch":
+        """Append a full-length lane array as a new column (mask preserved)."""
+        values = np.asarray(values)
+        if ctype is None:
+            ctype = ColumnType.FLOAT if values.dtype.kind == "f" else ColumnType.INT
+        cdef = ColumnDef(name, ctype)
+        values = values.astype(Table._dtype(cdef))
+        return ColumnBatch(
+            self.schema.with_column(cdef), [*self._columns, values], self._mask
+        )
+
+    def narrow(self, flags: np.ndarray) -> "ColumnBatch":
+        """AND per-lane boolean ``flags`` into the validity mask."""
+        flags = np.asarray(flags, dtype=bool)
+        if len(flags) != self._lanes:
+            raise ValueError("filter flags length must match lane count")
+        mask = flags if self._mask is None else (self._mask & flags)
+        return ColumnBatch(self.schema, self._columns, mask)
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        """Rows of the *compacted* batch at positional ``indices``."""
+        compacted = self.compact()
+        indices = np.asarray(indices, dtype=np.int64)
+        return ColumnBatch(
+            compacted.schema, [col[indices] for col in compacted._columns]
+        )

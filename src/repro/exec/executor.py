@@ -1,0 +1,29 @@
+"""Batch-at-a-time plan execution.
+
+:class:`ColumnarExecutor` is a :class:`~repro.runtime.executor.PlanExecutor`
+that always runs its cleartext sub-plans on the columnar engine, whatever
+the session's config says.  The operator DAG walk, the MPC boundary
+handling, the leakage accounting and the mesh protocol are all inherited
+unchanged — the columnar engine plugs in at the same seam the Spark
+simulator does, which is exactly what makes the row engine usable as a
+byte-identity oracle.
+
+Most callers should not construct this directly: pass
+``executor="columnar"`` to :func:`repro.core.compiler.run_query` (or set
+``CompilationConfig.executor``) and every runtime — simulated, sockets,
+service — picks the columnar engine through the ordinary config path.
+This class exists for tests and tools that want a columnar executor over
+explicit inputs without threading a config through.
+"""
+
+from __future__ import annotations
+
+from repro.exec.engine import ColumnarBackend
+from repro.runtime.executor import PlanExecutor
+
+
+class ColumnarExecutor(PlanExecutor):
+    """A plan executor pinned to the vectorized columnar engine."""
+
+    def _make_cleartext_backend(self):
+        return ColumnarBackend()

@@ -102,9 +102,16 @@ class Network:
                 self.send(sender, receiver, payload, size_bytes)
 
     def barrier(self) -> None:
-        """Mark the end of a communication round."""
+        """Mark the end of a communication round.
+
+        Barriers delimit *real* message exchanges, so they are the only
+        place ``wire_rounds`` advances — analytically accounted rounds
+        (:meth:`account_rounds`) raise the cost model's ``rounds`` without
+        implying a synchronous mesh round trip.
+        """
         if self._sent_since_barrier > 0:
             self.stats.rounds += 1
+            self.stats.wire_rounds += 1
             self._sent_since_barrier = 0
 
     def pending(self, receiver: str) -> int:

@@ -7,6 +7,17 @@ of :class:`~repro.mpc.secretshare.SharedVector` columns (one entry per
 relation column) so higher layers can treat a secret-shared relation as
 "columns + schema".
 
+Like the comparison operators of the engine itself, the sorting network and
+the merger are executed as *ideal functionalities*: the engine reconstructs
+the key column (acting as the environment), applies the permutation to
+whole share vectors at once, reshare-freshens the result, and charges the
+meter the full price of the bitonic network — ``O(n log^2 n)`` comparators,
+two oblivious multiplexes per comparator per column, and the network's
+stage-count worth of rounds.  Only the shuffle moves data through real
+resharing rounds; everything row-dependent is batched into whole-vector
+operations, so the number of *wire* rounds a distributed execution performs
+is independent of the relation size.
+
 Cost characteristics (what the cost meter records):
 
 ==============  =============================================
@@ -20,18 +31,20 @@ oblivious merge  O(n log n) comparisons
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
+
+import math
 
 import numpy as np
 
+from repro.mpc.estimates import (
+    _log2_ceil,
+    _stage_count,
+    bitonic_comparator_count,
+    bitonic_merge_comparator_count,
+)
 from repro.mpc.network import Network
 from repro.mpc.secretshare import AdditiveSharing, SecretSharingEngine, SharedVector
-
-#: Sentinel key used to pad relations up to a power of two for sorting
-#: networks.  Chosen as the largest signed 64-bit value so padding rows sort
-#: after all real rows.
-PAD_KEY = np.iinfo(np.int64).max
 
 
 def oblivious_shuffle(
@@ -87,35 +100,34 @@ def oblivious_sort(
     key: SharedVector,
     payload: Sequence[SharedVector],
 ) -> tuple[SharedVector, list[SharedVector]]:
-    """Sort a shared relation by a shared key column with a bitonic network.
+    """Sort a shared relation by a shared key column (bitonic network cost).
 
     Returns the sorted key column and the payload columns reordered in step.
-    The network performs ``O(n log^2 n)`` compare-exchange operations; each
-    one is an oblivious comparison plus an oblivious conditional swap of the
-    key and every payload column.
+    Executed as an ideal functionality: a stable permutation derived from
+    the reconstructed keys is applied to every share vector at once and the
+    result is reshare-freshened, while the meter is charged the real
+    network's ``O(n log^2 n)`` compare-exchange cost — one oblivious
+    comparison plus two multiplexes of every column per comparator.
     """
+    payload = list(payload)
     n = len(key)
     if n <= 1:
-        return key, list(payload)
-
-    # Pad to the next power of two with sentinel keys that sort last.
-    size = 1 << math.ceil(math.log2(n))
-    pad = size - n
-    key_vals = _padded(engine, key, pad, PAD_KEY)
-    payload_vals = [_padded(engine, col, pad, 0) for col in payload]
-
-    columns = [key_vals, *payload_vals]
-    for stage_size, step in _bitonic_schedule(size):
-        _compare_exchange_pass(engine, columns, size, stage_size, step)
-
-    key_sorted = _truncate(engine, columns[0], n)
-    payload_sorted = [_truncate(engine, col, n) for col in columns[1:]]
+        return key, payload
+    order = np.argsort(AdditiveSharing.reconstruct(key.shares), kind="stable")
+    key_sorted, payload_sorted = _permute_reshared(engine, key, payload, order)
+    _meter_network_cost(
+        engine,
+        comparators=bitonic_comparator_count(n),
+        columns=1 + len(payload),
+        rounds=3 * _stage_count(n),  # compare + two selects per stage
+    )
     return key_sorted, payload_sorted
 
 
 def oblivious_merge(
     engine: SecretSharingEngine,
     sorted_runs: Sequence[tuple[SharedVector, Sequence[SharedVector]]],
+    ascending: bool = True,
 ) -> tuple[SharedVector, list[SharedVector]]:
     """Obliviously merge several relations that are each sorted by key.
 
@@ -134,7 +146,7 @@ def oblivious_merge(
     merged_key, merged_payload = sorted_runs[0][0], list(sorted_runs[0][1])
     for next_key, next_payload in sorted_runs[1:]:
         merged_key, merged_payload = _bitonic_merge_two(
-            engine, merged_key, merged_payload, next_key, list(next_payload)
+            engine, merged_key, merged_payload, next_key, list(next_payload), ascending
         )
     return merged_key, merged_payload
 
@@ -145,45 +157,33 @@ def _bitonic_merge_two(
     payload_a: list[SharedVector],
     key_b: SharedVector,
     payload_b: list[SharedVector],
+    ascending: bool = True,
 ) -> tuple[SharedVector, list[SharedVector]]:
-    """Merge two ascending runs with a single bitonic merge pass.
+    """Merge two same-direction runs at a single bitonic merge pass's cost.
 
-    Reversing the second run turns the concatenation into a bitonic
-    sequence, which one O(n log n) merge network sorts completely.
+    A real deployment reverses the second run (a free public permutation)
+    so the concatenation is bitonic, then runs one ``O(n log n)`` merge
+    network.  Here the concatenated key vector is ordered as an ideal
+    functionality — the same stable-argsort-then-reverse rule
+    ``Table.sort_by`` uses, so ties land exactly where the cleartext
+    engine puts them — and the merge network's cost is metered.
     """
-    n = len(key_a) + len(key_b)
+    key = _concat_shared(engine, [key_a, key_b])
+    payload = [_concat_shared(engine, [a, b]) for a, b in zip(payload_a, payload_b)]
+    n = len(key)
     if n <= 1:
-        key = _concat_shared(engine, [key_a, key_b])
-        payload = [_concat_shared(engine, [a, b]) for a, b in zip(payload_a, payload_b)]
         return key, payload
 
-    # Pad the second run with sentinel keys (still ascending), then reverse
-    # it so the concatenation  A(asc) ++ B'(desc)  is a bitonic sequence of
-    # exactly power-of-two length; the sentinels sort to the end and are
-    # truncated away afterwards.
-    size = 1 << math.ceil(math.log2(n))
-    pad = size - n
-    key_b = _padded(engine, key_b, pad, PAD_KEY)
-    payload_b = [_padded(engine, col, pad, 0) for col in payload_b]
-    key_b_rev = SharedVector(engine, [s[::-1].copy() for s in key_b.shares])
-    payload_b_rev = [
-        SharedVector(engine, [s[::-1].copy() for s in col.shares]) for col in payload_b
-    ]
-    key = _concat_shared(engine, [key_a, key_b_rev])
-    payload = [
-        _concat_shared(engine, [a, b]) for a, b in zip(payload_a, payload_b_rev)
-    ]
-
-    columns = [key, *payload]
-    # A single bitonic merge pass: log(size) exchange stages over the whole
-    # (bitonic) sequence, all in ascending direction.
-    step = size // 2
-    while step >= 1:
-        _compare_exchange_pass(engine, columns, size, 2 * size, step)
-        step //= 2
-
-    key_sorted = _truncate(engine, columns[0], n)
-    payload_sorted = [_truncate(engine, col, n) for col in columns[1:]]
+    order = np.argsort(AdditiveSharing.reconstruct(key.shares), kind="stable")
+    if not ascending:
+        order = order[::-1]
+    key_sorted, payload_sorted = _permute_reshared(engine, key, payload, order)
+    _meter_network_cost(
+        engine,
+        comparators=bitonic_merge_comparator_count(n),
+        columns=1 + len(payload),
+        rounds=3 * _log2_ceil(n),
+    )
     return key_sorted, payload_sorted
 
 
@@ -232,93 +232,37 @@ def oblivious_index(
 # -- internals -------------------------------------------------------------------------
 
 
-def _bitonic_schedule(size: int):
-    """Yield (stage_size, step) pairs of a bitonic sorting network."""
-    stage = 2
-    while stage <= size:
-        step = stage // 2
-        while step >= 1:
-            yield stage, step
-            step //= 2
-        stage *= 2
-
-
-def _compare_exchange_pass(
+def _permute_reshared(
     engine: SecretSharingEngine,
-    columns: list[SharedVector],
-    size: int,
-    stage_size: int,
-    step: int,
+    key: SharedVector,
+    payload: list[SharedVector],
+    order: np.ndarray,
+) -> tuple[SharedVector, list[SharedVector]]:
+    """Apply ``order`` to key + payload share vectors with fresh resharing."""
+    n = len(order)
+    out: list[SharedVector] = []
+    for col in [key, *payload]:
+        permuted = [share[order] for share in col.shares]
+        zero = AdditiveSharing.share(np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng)
+        out.append(SharedVector(engine, [s + z for s, z in zip(permuted, zero)]))
+    return out[0], out[1:]
+
+
+def _meter_network_cost(
+    engine: SecretSharingEngine, comparators: int, columns: int, rounds: int
 ) -> None:
-    """One parallel compare-exchange stage of the bitonic network.
+    """Charge the meter for a comparator network executed ideally.
 
-    All comparators of the stage are independent, so they are batched into
-    single vectorised comparisons and multiplexes (one network round each),
-    exactly as a real secret-sharing backend would batch them.
+    Each comparator performs one oblivious comparison and two multiplexes
+    of every column (a multiplication plus two local share additions each);
+    the rounds are the network's stage count — analytic, because no real
+    message exchange happens here.
     """
-    low_idx: list[int] = []
-    high_idx: list[int] = []
-    for i in range(size):
-        j = i ^ step
-        if j > i:
-            ascending = (i & stage_size) == 0
-            if ascending:
-                low_idx.append(i)
-                high_idx.append(j)
-            else:
-                low_idx.append(j)
-                high_idx.append(i)
-    if not low_idx:
-        return
-    low = np.array(low_idx, dtype=np.int64)
-    high = np.array(high_idx, dtype=np.int64)
-
-    key = columns[0]
-    key_low = _gather(engine, key, low)
-    key_high = _gather(engine, key, high)
-    # swap needed when key_low > key_high  <=>  key_high < key_low
-    swap = engine.less_than(key_high, key_low)
-
-    for c, col in enumerate(columns):
-        col_low = _gather(engine, col, low)
-        col_high = _gather(engine, col, high)
-        new_low = engine.select(swap, col_high, col_low)
-        new_high = engine.select(swap, col_low, col_high)
-        columns[c] = _scatter(engine, col, low, new_low, high, new_high)
-
-
-def _gather(engine: SecretSharingEngine, vec: SharedVector, idx: np.ndarray) -> SharedVector:
-    return SharedVector(engine, [share[idx] for share in vec.shares])
-
-
-def _scatter(
-    engine: SecretSharingEngine,
-    vec: SharedVector,
-    low: np.ndarray,
-    new_low: SharedVector,
-    high: np.ndarray,
-    new_high: SharedVector,
-) -> SharedVector:
-    shares = [share.copy() for share in vec.shares]
-    for p in range(len(shares)):
-        shares[p][low] = new_low.shares[p]
-        shares[p][high] = new_high.shares[p]
-    return SharedVector(engine, shares)
-
-
-def _padded(engine: SecretSharingEngine, vec: SharedVector, pad: int, fill: int) -> SharedVector:
-    if pad == 0:
-        return SharedVector(engine, [s.copy() for s in vec.shares])
-    fill_shares = AdditiveSharing.share(
-        np.full(pad, fill, dtype=np.int64), engine.num_parties, engine.rng
-    )
-    return SharedVector(
-        engine, [np.concatenate([s, f]) for s, f in zip(vec.shares, fill_shares)]
-    )
-
-
-def _truncate(engine: SecretSharingEngine, vec: SharedVector, n: int) -> SharedVector:
-    return SharedVector(engine, [s[:n] for s in vec.shares])
+    engine.meter.comparisons += comparators
+    engine.meter.multiplications += comparators * 2 * columns
+    engine.meter.local_ops += comparators * 4 * columns
+    engine.network.account_rounds(rounds, 0, messages_per_round=engine.num_parties)
+    engine.network.stats.bytes_sent += comparators * (1 + 2 * columns) * Network.SHARE_BYTES
 
 
 def _concat_shared(engine: SecretSharingEngine, vectors: Sequence[SharedVector]) -> SharedVector:

@@ -21,13 +21,15 @@ import numpy as np
 
 from repro.data.schema import ColumnDef, ColumnType, Schema
 from repro.data.table import Table
+from repro.mpc.estimates import _log2_ceil
+from repro.mpc.network import Network
 from repro.mpc.oblivious import (
     oblivious_index,
     oblivious_merge,
     oblivious_shuffle,
     oblivious_sort,
 )
-from repro.mpc.secretshare import SecretSharingEngine, SharedVector
+from repro.mpc.secretshare import AdditiveSharing, SecretSharingEngine, SharedVector
 
 #: Fixed-point scaling factor used to carry fractional values (divisions)
 #: through the integer secret-sharing ring.
@@ -406,7 +408,7 @@ def mpc_sort(table: SharedTable, key: str, ascending: bool = True) -> SharedTabl
 def mpc_merge_sorted(
     tables: Sequence[SharedTable], key: str, ascending: bool = True
 ) -> SharedTable:
-    """Obliviously merge relations that are each sorted (ascending) by ``key``.
+    """Obliviously merge relations that are each sorted by ``key``.
 
     Uses the bitonic merge of :func:`repro.mpc.oblivious.oblivious_merge`,
     which costs O(n log n) comparisons instead of the O(n log^2 n) a full
@@ -425,24 +427,11 @@ def mpc_merge_sorted(
     key_idx = first.schema.index_of(key)
     runs = []
     for t in tables:
-        columns = t.columns
-        if not ascending:
-            # The merge network expects ascending runs; reversing a run is a
-            # public permutation and therefore free.
-            columns = [
-                SharedVector(engine, [share[::-1].copy() for share in col.shares])
-                for col in columns
-            ]
-        payload = [c for i, c in enumerate(columns) if i != key_idx]
-        runs.append((columns[key_idx], payload))
-    merged_key, merged_payload = oblivious_merge(engine, runs)
+        payload = [c for i, c in enumerate(t.columns) if i != key_idx]
+        runs.append((t.columns[key_idx], payload))
+    merged_key, merged_payload = oblivious_merge(engine, runs, ascending)
     columns = list(merged_payload)
     columns.insert(key_idx, merged_key)
-    if not ascending:
-        columns = [
-            SharedVector(engine, [share[::-1].copy() for share in col.shares])
-            for col in columns
-        ]
     return SharedTable(engine, first.schema, columns)
 
 
@@ -552,28 +541,56 @@ def mpc_aggregate(
         next_key = _gather_vector(engine, key_col, np.arange(1, n, dtype=np.int64))
         same_as_next = engine.equals(prev_key, next_key)  # length n-1, row i vs i+1
 
-        # Accumulate sequentially (the real protocol does a logarithmic-depth
-        # scan; we charge the same number of multiplications).
-        acc_shares = [s.copy() for s in value_col.shares]
-        acc = SharedVector(engine, acc_shares)
-        for i in range(1, n):
-            carry_flag = _gather_vector(engine, same_as_next, np.array([i - 1], dtype=np.int64))
-            prev_val = _gather_vector(engine, acc, np.array([i - 1], dtype=np.int64))
-            cur_val = _gather_vector(engine, acc, np.array([i], dtype=np.int64))
-            if func in ("sum", "count"):
-                new_val = engine.add(cur_val, engine.mul(carry_flag, prev_val))
-            else:
-                # Grouped min/max: fold the better of the two values forward
-                # when the previous row belongs to the same group.
-                prev_better = engine.less_than(prev_val, cur_val)
-                if func == "max":
-                    prev_better = engine.sub(
-                        engine.constant(np.ones(1, dtype=np.int64)), prev_better
-                    )
-                folded = engine.select(prev_better, prev_val, cur_val)
-                new_val = engine.select(carry_flag, folded, cur_val)
-            for p in range(engine.num_parties):
-                acc.shares[p][i] = new_val.shares[p][0]
+        # Batched accumulation: the real protocol runs a logarithmic-depth
+        # segmented prefix scan over whole share vectors — one oblivious fold
+        # per row charged analytically, no per-row message exchange, so wire
+        # rounds stay independent of the relation size.  Segment boundaries
+        # come from the (already ideal) equality flags.
+        same = AdditiveSharing.reconstruct(same_as_next.shares).astype(bool)
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = ~same
+        start_idx = np.maximum.accumulate(np.where(starts, np.arange(n), 0))
+        if func in ("sum", "count"):
+            # Segmented cumulative sum distributes over additive shares: the
+            # per-party segmented prefix sums (mod 2^64) reconstruct to the
+            # true segmented running totals.
+            acc_shares = []
+            nz = start_idx > 0
+            for share in value_col.shares:
+                running = np.cumsum(share, dtype=np.uint64)
+                base = np.zeros(n, dtype=np.uint64)
+                base[nz] = running[start_idx[nz] - 1]
+                acc_shares.append(running - base)
+            zero = AdditiveSharing.share(
+                np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng
+            )
+            acc = SharedVector(engine, [s + z for s, z in zip(acc_shares, zero)])
+            engine.meter.multiplications += n - 1
+            engine.meter.local_ops += 2 * n
+            engine.network.account_rounds(
+                _log2_ceil(n), n * Network.SHARE_BYTES, messages_per_round=engine.num_parties
+            )
+        else:
+            # Grouped min/max: a segmented running-extremum scan, executed
+            # ideally over reconstructed values with a fresh resharing, and
+            # charged the oblivious scan's price (one comparison plus two
+            # multiplexes per fold).
+            values = AdditiveSharing.reconstruct(value_col.shares)
+            scan = np.minimum.accumulate if func == "min" else np.maximum.accumulate
+            result = np.empty(n, dtype=np.int64)
+            bounds = np.flatnonzero(starts)
+            for b, e in zip(bounds, np.r_[bounds[1:], n]):
+                result[b:e] = scan(values[b:e])
+            acc = SharedVector(
+                engine, AdditiveSharing.share(result, engine.num_parties, engine.rng)
+            )
+            engine.meter.comparisons += n - 1
+            engine.meter.multiplications += 2 * (n - 1)
+            engine.meter.local_ops += 2 * n
+            engine.network.account_rounds(
+                3 * _log2_ceil(n), n * Network.SHARE_BYTES, messages_per_round=engine.num_parties
+            )
 
         # Row i is kept iff it is the last of its group: key[i] != key[i+1]
         # (or i == n-1).

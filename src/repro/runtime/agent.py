@@ -164,8 +164,20 @@ class PartyAgent:
         }
 
 
-def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
-    """Process entry point: handshake, mesh setup, then serve queries."""
+def agent_main(
+    party: str,
+    host: str,
+    port: int,
+    timeout: float = 60.0,
+    bind_host: str = "127.0.0.1",
+) -> None:
+    """Process entry point: handshake, mesh setup, then serve queries.
+
+    ``host``/``port`` locate the coordinator's control listener;
+    ``bind_host`` is where this agent binds its own mesh listener and the
+    host it advertises to peers (loopback by default; a routable address
+    for multi-machine deployments).
+    """
     control = socket.create_connection((host, port), timeout=timeout)
     control.settimeout(timeout)
     mesh: PeerMesh | None = None
@@ -189,9 +201,10 @@ def agent_main(party: str, host: str, port: int, timeout: float = 60.0) -> None:
             injector = FaultInjector(faults, party)
 
         # Deterministic port assignment: bind an ephemeral port (the OS
-        # picks a free one) and let the coordinator broadcast the map.
-        listener = bind_listener(run_timeout)
-        send_frame(control, ("ports", listener.getsockname()[1]))
+        # picks a free one) and let the coordinator broadcast the map of
+        # advertised (host, port) endpoints.
+        listener = bind_listener(run_timeout, bind_host)
+        send_frame(control, ("ports", (bind_host, listener.getsockname()[1])))
         tag, ports = recv_frame(control)
         if tag != "peers":
             raise RuntimeError(f"agent {party!r} expected a peers frame, got {tag!r}")

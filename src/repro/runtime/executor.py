@@ -56,6 +56,8 @@ from repro.core.operators import (
 )
 from repro.data.schema import PUBLIC
 from repro.data.table import Table
+from repro.exec.batch import ColumnBatch
+from repro.exec.engine import ColumnarBackend
 from repro.hybrid.hybrid_agg import hybrid_aggregate
 from repro.hybrid.hybrid_join import hybrid_join
 from repro.hybrid.public_join import public_join
@@ -153,6 +155,17 @@ class PlanExecutor:
     # -- backend construction -------------------------------------------------------------
 
     def _make_cleartext_backend(self):
+        executor = getattr(self.config, "executor", "row")
+        if executor == "columnar":
+            # The columnar engine replaces the row engines wholesale: it is
+            # the vectorized implementation of the same cleartext role, and
+            # the differential corpus holds it byte-identical to the
+            # sequential row oracle.
+            return ColumnarBackend()
+        if executor != "row":
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'row' or 'columnar'"
+            )
         if self.config.cleartext_backend == "spark":
             return SparkBackend()
         return PythonBackend()
@@ -432,6 +445,10 @@ class PlanExecutor:
         """The raw values of ``column`` regardless of which backend holds it."""
         if isinstance(handle, Table):
             return handle.column(column)
+        if isinstance(handle, ColumnBatch):
+            # Only the unmasked lanes are real rows; a lane filtered out
+            # before the encode chain must not trip the range check.
+            return handle.column_values(column)
         if isinstance(handle, PartitionedRelation):
             parts = [p.column(column) for p in handle.partitions]
             return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
@@ -586,6 +603,7 @@ class PlanExecutor:
                 "messages": stats.messages,
                 "bytes_sent": stats.bytes_sent,
                 "rounds": stats.rounds,
+                "wire_rounds": stats.wire_rounds,
             }
         return {
             "backend": backend.name,

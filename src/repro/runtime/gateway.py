@@ -100,10 +100,15 @@ class QueryGateway:
         max_in_flight_default: int = 8,
         metrics: GatewayMetrics | None = None,
         closed_error=GatewayClosed,
+        completion_counters=None,
     ):
         self.config = (config or GatewayConfig()).validate()
         self.metrics = metrics if metrics is not None else GatewayMetrics()
         self._closed_error = closed_error
+        #: Optional callable mapping a successful dispatch result to extra
+        #: counter increments (e.g. ``rows_processed``/``mpc_rounds``); the
+        #: session installs one that reads the per-party payloads.
+        self._completion_counters = completion_counters
         self._max_in_flight = self.config.max_in_flight or max_in_flight_default
         if self._max_in_flight < 1:
             raise ValueError(f"gateway needs max_in_flight >= 1, got {self._max_in_flight}")
@@ -316,7 +321,13 @@ class QueryGateway:
             if not job.future.done():
                 job.future.set_exception(error)
         else:
-            self.metrics.inc("queries_completed")
+            counters = {"queries_completed": 1}
+            if self._completion_counters is not None:
+                try:
+                    counters.update(self._completion_counters(finished.result()))
+                except Exception:  # noqa: BLE001 - counters must never fail a query
+                    pass
+            self.metrics.inc_many(counters)
             if not job.future.done():
                 job.future.set_result(finished.result())
         self._pump()

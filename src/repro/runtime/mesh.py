@@ -1,11 +1,13 @@
 """The full TCP mesh connecting the per-party agent processes.
 
-Every agent binds a listener on an ephemeral port (``bind("127.0.0.1", 0)``
-— the OS picks a free port, so concurrent test runs never collide), reports
-the chosen port to the coordinator, and receives the full party→port map
-back.  The mesh is then established deterministically: agent *i* dials every
-agent *j < i* (in the shared party order) and introduces itself with a hello
-frame, so both ends agree on which party each connection belongs to.
+Every agent binds a listener on an ephemeral port (``bind(bind_host, 0)``
+— the OS picks a free port, so concurrent test runs never collide; the host
+defaults to loopback and comes from the session's ``bind_host`` knob),
+advertises its real ``(host, port)`` endpoint to the coordinator, and
+receives the full party→endpoint map back.  The mesh is then established
+deterministically: agent *i* dials every agent *j < i* (in the shared party
+order) and introduces itself with a hello frame, so both ends agree on
+which party each connection belongs to.
 
 The mesh is **multiplexed by query id** so one set of TCP connections can
 carry many queries — including concurrent ones — for a long-lived agent.
@@ -467,37 +469,54 @@ class MeshChannel:
         self._mesh.release_query(self.query_id)
 
 
-def bind_listener(timeout: float) -> socket.socket:
-    """Bind a loopback listener on an ephemeral port (deterministic: the OS
-    hands out a free port, which is then exchanged via handshake)."""
+def bind_listener(timeout: float, host: str = "127.0.0.1") -> socket.socket:
+    """Bind a listener on ``host`` and an ephemeral port (deterministic: the
+    OS hands out a free port, which is then exchanged via handshake).  The
+    loopback default keeps single-machine runs self-contained; a routable
+    ``host`` lets agents on different machines reach each other."""
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind(("127.0.0.1", 0))
+    listener.bind((host, 0))
     listener.listen(16)
     listener.settimeout(timeout)
     return listener
 
 
+def _endpoint(value) -> tuple[str, int]:
+    """Normalise a peer address to a ``(host, port)`` endpoint.
+
+    Agents advertise full endpoints, but a bare port (the pre-``bind_host``
+    wire format, still used by some tests) is accepted and assumed to be
+    loopback.
+    """
+    if isinstance(value, (tuple, list)):
+        host, port = value
+        return str(host), int(port)
+    return "127.0.0.1", int(value)
+
+
 def connect_mesh(
     party: str,
     parties: list[str],
-    ports: dict[str, int],
+    ports: dict[str, int | tuple[str, int]],
     listener: socket.socket,
     timeout: float = 60.0,
     *,
     injector=None,
 ) -> PeerMesh:
-    """Establish the full mesh for ``party`` given every agent's port.
+    """Establish the full mesh for ``party`` given every agent's endpoint.
 
     ``parties`` is the shared, ordered party list; agent *i* dials every
     agent *j < i* and accepts one connection from every agent *j > i*.
+    ``ports`` maps party -> advertised ``(host, port)`` endpoint (bare ports
+    are accepted as loopback).
     """
     order = list(parties)
     index = order.index(party)
     connections: dict[str, socket.socket] = {}
 
     for peer in order[:index]:
-        connections[peer] = _dial(party, peer, ports[peer], timeout)
+        connections[peer] = _dial(party, peer, _endpoint(ports[peer]), timeout)
 
     for _ in order[index + 1:]:
         try:
@@ -519,7 +538,7 @@ def connect_mesh(
 def rejoin_mesh(
     party: str,
     parties: list[str],
-    ports: dict[str, int],
+    ports: dict[str, int | tuple[str, int]],
     timeout: float = 60.0,
     *,
     epoch: int,
@@ -540,7 +559,8 @@ def rejoin_mesh(
     try:
         for peer in sorted(p for p in parties if p != party and p in ports):
             connections[peer] = _dial(
-                party, peer, ports[peer], timeout, hello=("rejoin-hello", party, epoch)
+                party, peer, _endpoint(ports[peer]), timeout,
+                hello=("rejoin-hello", party, epoch),
             )
     except Exception:
         for sock in connections.values():
@@ -599,22 +619,24 @@ def accept_rejoin(
 def _dial(
     party: str,
     peer: str,
-    port: int,
+    endpoint: tuple[str, int],
     timeout: float,
     *,
     hello: tuple | None = None,
 ) -> socket.socket:
-    """Dial ``peer`` with jittered exponential backoff until the retry window
-    closes.  The jitter is deterministic per (party, peer, port) — restarts
-    replay identically — while still decorrelating the parties of one mesh,
-    so N agents dialling a slow starter don't retry in lockstep."""
+    """Dial ``peer`` at its advertised ``(host, port)`` endpoint with
+    jittered exponential backoff until the retry window closes.  The jitter
+    is deterministic per (party, peer, endpoint) — restarts replay
+    identically — while still decorrelating the parties of one mesh, so N
+    agents dialling a slow starter don't retry in lockstep."""
+    host, port = endpoint
     deadline = time.monotonic() + min(_DIAL_RETRY_SECONDS, timeout)
-    rng = random.Random(f"{party}->{peer}:{port}")
+    rng = random.Random(f"{party}->{peer}:{host}:{port}")
     delay = 0.02
     last_error: Exception | None = None
     while True:
         try:
-            sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+            sock = socket.create_connection((host, port), timeout=timeout)
             sock.settimeout(timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             send_frame(sock, hello if hello is not None else ("hello", party))
@@ -627,5 +649,5 @@ def _dial(
         time.sleep(min(remaining, delay * (0.5 + rng.random())))
         delay = min(delay * 2, 0.5)
     raise TransportError(
-        f"agent {party!r} could not reach peer {peer!r} on port {port}: {last_error}"
+        f"agent {party!r} could not reach peer {peer!r} at {host}:{port}: {last_error}"
     )

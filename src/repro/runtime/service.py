@@ -170,6 +170,29 @@ def merge_payloads(compiled, parties: list[str], payloads: dict[str, dict]):
     )
 
 
+def _query_completion_counters(payloads: dict[str, dict]) -> dict[str, int]:
+    """Per-query counter increments derived from the agents' payloads.
+
+    ``rows_processed`` counts the rows of every distinct output relation
+    (each output is counted once even when several parties received it);
+    ``mpc_rounds`` is the joint protocol's *wire* round count — the number
+    of real barrier-delimited mesh exchanges, which the batched share-vector
+    protocols keep independent of relation size.  Shapes and counts only,
+    never values: the counters stay on the right side of the privacy
+    boundary.
+    """
+    rows: dict[str, int] = {}
+    mpc_rounds = 0
+    for payload in payloads.values():
+        for name, table in payload.get("outputs", {}).items():
+            rows.setdefault(name, table.num_rows)
+        profile = payload.get("mpc_profile") or {}
+        mpc_rounds = max(
+            mpc_rounds, int(profile.get("wire_rounds", profile.get("rounds", 0)))
+        )
+    return {"rows_processed": sum(rows.values()), "mpc_rounds": mpc_rounds}
+
+
 @dataclass
 class _PendingQuery:
     """Coordinator-side state of one in-flight query."""
@@ -216,9 +239,13 @@ class AgentPool:
         faults=None,
         metrics: GatewayMetrics | None = None,
         on_restart=None,
+        bind_host: str = "127.0.0.1",
     ):
         self.parties = list(parties)
         self.timeout = timeout
+        #: Host the control listener binds and the agents advertise their
+        #: mesh endpoints on (loopback unless the session asks otherwise).
+        self.bind_host = bind_host
         self.idle_timeout = idle_timeout
         self.max_workers = max_workers
         self._on_retire = on_retire
@@ -239,9 +266,10 @@ class AgentPool:
         #: Standing state the supervisor re-ships to a replacement agent.
         self._inputs = dict(inputs or {})
         self._faults = faults
-        #: Each agent's mesh listener port, kept current across restarts so
-        #: a replacement can be told where the survivors listen.
-        self._ports: dict[str, int] = {}
+        #: Each agent's advertised mesh endpoint ``(host, port)``, kept
+        #: current across restarts so a replacement can be told where the
+        #: survivors listen.  Opaque to the pool: it only relays them.
+        self._ports: dict[str, tuple[str, int]] = {}
         #: Parties currently dead-and-being-restarted.  While non-empty the
         #: pool refuses submissions with the retryable :class:`AgentCrashed`.
         self._recovering: set[str] = set()
@@ -253,7 +281,7 @@ class AgentPool:
         self._supervisor: AgentSupervisor | None = None
 
         self._ctx = multiprocessing.get_context(start_method)
-        listener = bind_listener(timeout)
+        listener = bind_listener(timeout, bind_host)
         port = listener.getsockname()[1]
         try:
             for party in self.parties:
@@ -304,7 +332,7 @@ class AgentPool:
     def _spawn_agent(self, party: str, port: int):
         proc = self._ctx.Process(
             target=agent_main,
-            args=(party, "127.0.0.1", port, self.timeout),
+            args=(party, self.bind_host, port, self.timeout, self.bind_host),
             daemon=True,
             name=f"conclave-agent-{party}",
         )
@@ -547,7 +575,7 @@ class AgentPool:
             survivors = [
                 p for p in self.parties if p != party and p not in self._recovering
             ]
-        listener = bind_listener(self.timeout)
+        listener = bind_listener(self.timeout, self.bind_host)
         proc = None
         sock = None
         try:
@@ -611,7 +639,9 @@ class AgentPool:
                 pass
         self._install_replacement(party, proc, sock, mesh_port)
 
-    def _install_replacement(self, party: str, proc, sock: socket.socket, mesh_port: int) -> None:
+    def _install_replacement(
+        self, party: str, proc, sock: socket.socket, mesh_port: tuple[str, int]
+    ) -> None:
         with self._lock:
             old_proc = self._processes.get(party)
             old_sock = self._connections.get(party)
@@ -907,6 +937,7 @@ class QuerySession:
             max_in_flight_default=max_workers,
             metrics=self._metrics,
             closed_error=SessionClosed,
+            completion_counters=_query_completion_counters,
         )
         self._pool = AgentPool(
             self.parties,
@@ -920,6 +951,7 @@ class QuerySession:
             faults=faults,
             metrics=self._metrics,
             on_restart=self._party_restarted,
+            bind_host=self.config.bind_host,
         )
         self._metrics.set_wire_provider(self._pool.wire_traffic)
         _ACTIVE_SESSIONS.add(self)
@@ -1168,6 +1200,8 @@ class QuerySession:
             "queries_rejected": counters.get("queries_rejected", 0),
             "queries_completed": counters.get("queries_completed", 0),
             "queries_failed": counters.get("queries_failed", 0),
+            "rows_processed": counters.get("rows_processed", 0),
+            "mpc_rounds": counters.get("mpc_rounds", 0),
             "in_flight": int(gauges.get("in_flight", 0)),
             "queued": int(gauges.get("queue_depth", 0)),
             "restarts": counters.get("agent_restarts", 0),

@@ -38,24 +38,35 @@ class TransportError(RuntimeError):
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters for one protocol execution."""
+    """Aggregate traffic counters for one protocol execution.
+
+    ``rounds`` counts every round the cost model charges for, including the
+    analytically accounted rounds of the ideal-functionality protocol steps;
+    ``wire_rounds`` counts only *real* barrier-delimited message exchanges —
+    the number of synchronous mesh round trips a distributed execution
+    performs.  The batched share-vector protocols keep ``wire_rounds``
+    independent of row count.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
     rounds: int = 0
+    wire_rounds: int = 0
 
     def merge(self, other: "NetworkStats") -> None:
         self.messages += other.messages
         self.bytes_sent += other.bytes_sent
         self.rounds += other.rounds
+        self.wire_rounds += other.wire_rounds
 
     def copy(self) -> "NetworkStats":
-        return NetworkStats(self.messages, self.bytes_sent, self.rounds)
+        return NetworkStats(self.messages, self.bytes_sent, self.rounds, self.wire_rounds)
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
         self.rounds = 0
+        self.wire_rounds = 0
 
 
 @dataclass

@@ -211,7 +211,9 @@ class TestCrashPropagation:
 
     def heavy_query(self):
         """An MPC-heavy plan (~seconds): filter kept under MPC by disabling
-        push-down, so comparisons run on secret shares."""
+        push-down, so comparisons run on secret shares.  The batched
+        share-vector protocols make per-row cost tiny, so the row count is
+        large to keep the query running for a measurable beat."""
         pa, pb = cc.Party(PARTY_A), cc.Party(PARTY_B)
         with QueryContext() as ctx:
             t0 = ctx.new_table("t0", [cc.Column("k"), cc.Column("v")], at=pa)
@@ -222,7 +224,7 @@ class TestCrashPropagation:
         config = CompilationConfig(enable_push_down=False)
         schema = Schema([ColumnDef("k"), ColumnDef("v")])
         rng = np.random.default_rng(3)
-        rows = 4000
+        rows = 400_000
         inputs = {
             p: {t: Table(schema, [rng.integers(0, 9, rows), rng.integers(-50, 50, rows)])}
             for p, t in ((PARTY_A, "t0"), (PARTY_B, "t1"))

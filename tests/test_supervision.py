@@ -228,10 +228,12 @@ class TestFaultMatrix:
         assert stats["retries_exhausted"] == 0
 
     def test_torn_frame_is_a_process_death(self):
-        # 57 mesh frames per party per query: frame 70 tears mid-query-2, and
-        # the replacement's replay (57 frames, fresh per-process counter)
-        # finishes below the trigger instead of dying again.
-        stats = self._run(FaultPlan(links=(LinkFault(PARTY_B, "torn", 70),)))
+        # 6 mesh frames per party per query (the batched share-vector
+        # protocols exchange whole columns per round): frame 8 tears
+        # mid-query-2, and the replacement's replay (6 frames, fresh
+        # per-process counter) finishes below the trigger instead of dying
+        # again.
+        stats = self._run(FaultPlan(links=(LinkFault(PARTY_B, "torn", 8),)))
         assert stats["restarts"] >= 1
         assert stats["retries"] >= 1
 
