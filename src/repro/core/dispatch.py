@@ -58,6 +58,9 @@ class QueryResult:
     #: Which runtime executed the query: ``"simulated"`` (in-process) or
     #: ``"sockets"`` (one OS process per party).
     runtime: str = "simulated"
+    #: Per-party isolation audit (which share slices / cleartext inputs each
+    #: agent process held); populated by the sockets runtime, empty otherwise.
+    isolation: dict = field(default_factory=dict)
 
     def output(self, name: str) -> Table:
         if name not in self.outputs:

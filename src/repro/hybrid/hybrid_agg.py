@@ -55,13 +55,15 @@ def hybrid_aggregate(
     out_schema = Schema([table.schema[group_col], ColumnDef(out_name, out_type)])
 
     if n == 0:
-        empty = SharedVector(engine, [np.empty(0, dtype=np.uint64)] * engine.num_parties)
+        empty = engine.empty_vector()
         return SharedTable(engine, out_schema, [empty, empty])
 
     # Step 1: oblivious shuffle, then reveal the shuffled group-by column.
     shuffled = oblivious_shuffle(engine, [key_col, value_col])
     key_col, value_col = shuffled[0], shuffled[1]
-    revealed_keys = engine.reveal_to(key_col, stp.name)
+    # The STP logic is replicated at every agent, so the reveal widens to
+    # all engines — the leakage report records the disclosure either way.
+    revealed_keys = engine.reveal_replicated(key_col)
     leakage.record(
         "column_reveal", f"hybrid_aggregate({group_col})", [group_col], [stp.name],
         detail=f"{n} shuffled group-by values",
@@ -76,8 +78,11 @@ def hybrid_aggregate(
         equal_prev[1:] = (sorted_keys[1:] == sorted_keys[:-1]).astype(np.int64)
     _charge_stp_sort(stp, n)
 
-    # The plaintext ordering is public; the flags are secret-shared into MPC.
-    flags = engine.input_vector(equal_prev, contributor=engine.party_names[0])
+    # The plaintext ordering is public; the flags (known to every
+    # replicated-STP engine) are secret-shared back into MPC.
+    flags = engine.input_vector(
+        equal_prev, contributor=engine.party_names[0], public=True
+    )
 
     # Step 6: parties reorder the shuffled relation by the public ordering.
     key_sorted = SharedVector(engine, [s[order] for s in key_col.shares])
@@ -91,13 +96,13 @@ def hybrid_aggregate(
         prev = SharedVector(engine, [s[i - 1 : i] for s in acc.shares])
         cur = SharedVector(engine, [s[i : i + 1] for s in acc.shares])
         new_val = engine.add(cur, engine.mul(flag_i, prev))
-        for p in range(engine.num_parties):
+        for p in range(engine.num_local_shares):
             acc.shares[p][i] = new_val.shares[p][0]
 
     # A row is the last of its group iff the next row starts a new group.
     keep = np.ones(n, dtype=np.int64)
     keep[: n - 1] = 1 - equal_prev[1:]
-    keep_flags = engine.input_vector(keep, contributor=engine.party_names[0])
+    keep_flags = engine.input_vector(keep, contributor=engine.party_names[0], public=True)
 
     # Step 8: shuffle, reveal the keep flags, and discard non-final rows.
     shuffled_out = oblivious_shuffle(engine, [keep_flags, key_sorted, acc])

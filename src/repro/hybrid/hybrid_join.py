@@ -45,9 +45,11 @@ def hybrid_join(
     left = SharedTable(engine, left.schema, left_cols)
     right = SharedTable(engine, right.schema, right_cols)
 
-    # Step 2: project the key columns and reveal them to the STP.
-    left_keys = engine.reveal_to(left.column(left_on), stp.name)
-    right_keys = engine.reveal_to(right.column(right_on), stp.name)
+    # Step 2: project the key columns and reveal them to the STP.  The STP's
+    # cleartext logic is replicated at every agent, so the reveal widens to
+    # all engines — the leakage report records the disclosure either way.
+    left_keys = engine.reveal_replicated(left.column(left_on))
+    right_keys = engine.reveal_replicated(right.column(right_on))
     leakage.record(
         "column_reveal", f"hybrid_join({left_on})", [left_on, right_on], [stp.name],
         detail=f"{len(left_keys)}+{len(right_keys)} shuffled key values",
@@ -69,9 +71,15 @@ def hybrid_join(
         detail=f"output rows = {output_rows} (visible to all parties)",
     )
 
-    # The STP secret-shares the index relations back into the MPC.
-    left_idx_shared = engine.input_vector(left_indices, contributor=engine.party_names[0])
-    right_idx_shared = engine.input_vector(right_indices, contributor=engine.party_names[0])
+    # The STP secret-shares the index relations back into the MPC.  The
+    # indices are known to every (replicated-STP) engine, so this is a
+    # public-value sharing from the shared environment stream.
+    left_idx_shared = engine.input_vector(
+        left_indices, contributor=engine.party_names[0], public=True
+    )
+    right_idx_shared = engine.input_vector(
+        right_indices, contributor=engine.party_names[0], public=True
+    )
 
     # Step 6: oblivious indexing selects the matching rows on both sides.
     left_rows = oblivious_index(engine, left.columns, left_idx_shared)

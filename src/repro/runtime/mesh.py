@@ -252,6 +252,15 @@ class PeerMesh:
             existing = [q for (k, _qid, p), q in self._queues.items()
                         if p == peer and k in _DATA_KINDS]
         for q in existing:
+            # Drain frames that were demultiplexed before the link died: a
+            # consumer must see the failure on its *next* receive, not read
+            # stale data off a dead conversation first.  (New receives on
+            # fresh queues fail via the _peer_errors mark.)
+            while True:
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    break
             q.put(_PeerClosed(exc))
 
     def replace_peer(self, peer: str, sock: socket.socket) -> None:

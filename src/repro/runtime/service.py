@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import logging
 import multiprocessing
 import pickle
 import socket
@@ -43,11 +44,34 @@ from repro.runtime.supervisor import AgentSupervisor
 from repro.runtime.transport import TransportError
 from repro.runtime.wire import WireError, encode_frame, recv_frame, send_frame
 
+logger = logging.getLogger("repro.runtime.service")
+
 #: Live agent processes, for leak-hunting test fixtures.
 _ACTIVE_PROCESSES: "set[multiprocessing.process.BaseProcess]" = set()
 
 #: Open sessions, for leak-hunting test fixtures and atexit cleanup.
 _ACTIVE_SESSIONS: "set[QuerySession]" = set()
+
+#: Errors swallowed on best-effort teardown paths.  Teardown must never raise
+#: (there is nobody left to handle it), but silently dropping the exception
+#: hides real bugs — so every swallowed error is logged at debug level and
+#: counted here, where tests and operators can see it.
+_TEARDOWN_ERRORS = 0
+_TEARDOWN_LOCK = threading.Lock()
+
+
+def _count_teardown_error(site: str, exc: BaseException) -> None:
+    """Record one swallowed teardown error (debug log + metric)."""
+    global _TEARDOWN_ERRORS
+    with _TEARDOWN_LOCK:
+        _TEARDOWN_ERRORS += 1
+    logger.debug("teardown error at %s: %r", site, exc, exc_info=exc)
+
+
+def teardown_errors() -> int:
+    """How many errors best-effort teardown paths have swallowed so far."""
+    with _TEARDOWN_LOCK:
+        return _TEARDOWN_ERRORS
 
 
 def active_agent_processes() -> list:
@@ -167,6 +191,9 @@ def merge_payloads(compiled, parties: list[str], payloads: dict[str, dict]):
         backend_seconds=backend_seconds,
         mpc_profile=payloads[lead]["mpc_profile"],
         runtime="sockets",
+        isolation={
+            party: payloads[party].get("isolation", {}) for party in parties
+        },
     )
 
 
@@ -806,8 +833,8 @@ class AgentPool:
             for future in pending:
                 try:
                     future.exception(timeout=self.timeout)
-                except Exception:  # noqa: BLE001 - drain best-effort; teardown follows
-                    pass
+                except Exception as exc:  # noqa: BLE001 - drain best-effort; teardown follows
+                    _count_teardown_error("AgentPool.close drain", exc)
         if not broken:
             for party, sock in self._connections.items():
                 try:
@@ -1370,8 +1397,8 @@ def close_shared_sessions() -> None:
     for session in sessions:
         try:
             session.close()
-        except Exception:  # noqa: BLE001 - best-effort teardown
-            pass
+        except Exception as exc:  # noqa: BLE001 - best-effort teardown
+            _count_teardown_error("close_shared_sessions", exc)
 
 
 def _close_sessions_at_exit() -> None:
@@ -1385,8 +1412,8 @@ def _close_sessions_at_exit() -> None:
     for session in list(_ACTIVE_SESSIONS):
         try:
             session.close(drain=False)
-        except Exception:  # noqa: BLE001 - best-effort teardown
-            pass
+        except Exception as exc:  # noqa: BLE001 - best-effort teardown
+            _count_teardown_error("_close_sessions_at_exit", exc)
 
 
 atexit.register(_close_sessions_at_exit)

@@ -4,9 +4,15 @@ Every connection of the distributed runtime — coordinator-to-agent control
 links and the agent-to-agent mesh — speaks the same trivial protocol: a
 4-byte big-endian length header followed by a pickled Python object.  The
 payloads never leave the local machine group running the query (parties are
-mutually known processes of one deployment), so pickle's convenience
-outweighs its trust assumptions here; a production deployment would swap in
-msgpack plus TLS, which is exactly why the framing lives in its own module.
+mutually known processes of one deployment), but "mutually known" is not
+"mutually trusted": a compromised peer must not get arbitrary code execution
+on every other party just by naming ``os.system`` in a pickle frame.  All
+frames are therefore decoded through :class:`RestrictedUnpickler`, which
+resolves only an allowlist of globals — builtin containers, ``repro.*``
+types, numpy array-reconstruction callables, and exception classes — and
+rejects everything else with :class:`WireError` before any object is built.
+A production deployment would still swap in msgpack plus TLS, which is
+exactly why the framing lives in its own module.
 
 The framing is exposed in two forms:
 
@@ -24,6 +30,7 @@ The framing is exposed in two forms:
 
 from __future__ import annotations
 
+import io
 import pickle
 import socket
 import struct
@@ -38,6 +45,61 @@ _HEADER = struct.Struct(">I")
 
 class WireError(ConnectionError):
     """A connection failed mid-frame or produced a corrupt frame."""
+
+
+#: Builtins a frame may name directly.  Deliberately excludes ``getattr``,
+#: ``eval`` and friends — anything callable that could reach beyond plain
+#: data construction.
+_SAFE_BUILTINS = frozenset({
+    "bool", "bytearray", "bytes", "complex", "dict", "float", "frozenset",
+    "int", "list", "object", "range", "set", "slice", "str", "tuple",
+})
+
+#: Numpy reconstruction callables used by ndarray/dtype/scalar pickles,
+#: covering both the numpy 1.x (``numpy.core``) and 2.x (``numpy._core``)
+#: module layouts.
+_SAFE_NUMPY = frozenset({"_reconstruct", "ndarray", "dtype", "scalar", "_frombuffer"})
+
+
+class RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that only resolves globals a repro frame legitimately needs.
+
+    Allowed: safe builtins, ``collections``/``datetime`` helpers, numpy
+    array reconstruction, anything from the ``repro`` package, and exception
+    classes (agents ship their failures back to the coordinator).  Every
+    other global — ``os.system``, ``builtins.eval``, ``subprocess.*`` — is
+    rejected with :class:`pickle.UnpicklingError` before it is ever called.
+    """
+
+    def find_class(self, module: str, name: str):
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return super().find_class(module, name)
+        if module in ("collections", "datetime"):
+            return super().find_class(module, name)
+        if (module == "numpy" or module.startswith("numpy.")) and name in _SAFE_NUMPY:
+            return super().find_class(module, name)
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        # Exception classes (from any importable module) are allowed so that
+        # agent failures deserialise faithfully; resolve first, then verify
+        # the result really is an exception *type* before handing it out.
+        try:
+            obj = super().find_class(module, name)
+        except Exception:
+            obj = None
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            return obj
+        raise pickle.UnpicklingError(
+            f"frame references forbidden global {module}.{name}"
+        )
+
+
+def restricted_loads(data: bytes) -> object:
+    """Deserialise one frame payload through the allowlisting unpickler."""
+    try:
+        return RestrictedUnpickler(io.BytesIO(data)).load()
+    except pickle.UnpicklingError as exc:
+        raise WireError(f"rejected frame: {exc}") from exc
 
 
 class LinkStats:
@@ -118,7 +180,7 @@ class FrameDecoder:
                 break
             payload = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
             del self._buffer[:_HEADER.size + length]
-            frames.append(pickle.loads(payload))
+            frames.append(restricted_loads(payload))
         return frames
 
     def eof(self) -> None:
@@ -186,7 +248,7 @@ def recv_frame(
     payload = _recv_exact(sock, length)
     if stats is not None:
         stats.add_received(_HEADER.size + length)
-    return pickle.loads(payload)
+    return restricted_loads(payload)
 
 
 def _recv_exact(sock: socket.socket, n: int, *, allow_idle_timeout: bool = False) -> bytes:

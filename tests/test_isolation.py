@@ -1,0 +1,368 @@
+"""Cryptographic isolation tests for the per-party share-slice engine.
+
+The properties asserted here are what make the distributed runtime's
+secret sharing *real* rather than replicated theatre:
+
+* a :class:`ShareSliceEngine` holds only its own parties' additive share
+  slices — no other party's share material, and no other party's cleartext
+  input, exists in the process;
+* openings (``open``, Beaver openings, env-opens) reconstruct from the
+  share frames *delivered by the transport*: tampering with one share frame
+  in transit changes (or fails) the opened result, proving the wire bytes
+  are load-bearing;
+* the lockstep sliced engines stay byte-identical to the all-local
+  simulation engine;
+* the restricted unpickler rejects pickle frames naming globals outside the
+  allowlist (``os.system`` must never run because a peer said so);
+* a mesh reader's death poisons even frames that were already
+  demultiplexed — a consumer never reads stale data off a dead link;
+* across the differential corpus, every agent process's isolation audit
+  shows it held only its own share slices and cleartext inputs.
+"""
+
+import pickle
+import queue
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro as cc
+from repro.core.config import CompilationConfig
+from repro.mpc.network import Network
+from repro.mpc.secretshare import (
+    AdditiveSharing,
+    SecretSharingEngine,
+    ShareSliceEngine,
+)
+from repro.runtime.mesh import KIND_MSG, PeerMesh
+from repro.runtime.transport import SocketTransport, TransportError
+from repro.runtime.wire import (
+    FrameDecoder,
+    WireError,
+    encode_frame,
+    restricted_loads,
+    send_frame,
+)
+
+from test_differential import (
+    NUM_PLANS,
+    NUM_SOCKET_PLANS,
+    PARTY_A,
+    PARTY_B,
+    SEED,
+    build_query,
+    generate_spec,
+    oracle,
+    run_spec,
+)
+
+PARTIES = [PARTY_A, PARTY_B]
+
+
+# -- in-process mesh pair for two sliced engines ------------------------------------------
+
+
+class _PipeMesh:
+    """Minimal PeerMesh stand-in: two queues, optional frame tampering."""
+
+    def __init__(self, party, peer, inbox, outbox, tamper=None):
+        self.party = party
+        self.peers = {peer}
+        self._inbox = inbox
+        self._outbox = outbox
+        self._tamper = tamper
+
+    def send_message(self, peer, message):
+        if self._tamper is not None:
+            message = self._tamper(message)
+        self._outbox.put(message)
+
+    def receive_message(self, peer):
+        return self._inbox.get(timeout=30)
+
+    def close(self):
+        pass
+
+
+def sliced_engine_pair(seed=7, tamper_from_b=None):
+    """Two ShareSliceEngines (one slice each) joined by an in-process pipe."""
+    a_to_b, b_to_a = queue.Queue(), queue.Queue()
+    mesh_a = _PipeMesh(PARTY_A, PARTY_B, inbox=b_to_a, outbox=a_to_b)
+    mesh_b = _PipeMesh(PARTY_B, PARTY_A, inbox=a_to_b, outbox=b_to_a, tamper=tamper_from_b)
+    engines = []
+    for party, mesh in ((PARTY_A, mesh_a), (PARTY_B, mesh_b)):
+        network = Network(PARTIES, transport=SocketTransport(PARTIES, mesh))
+        engines.append(
+            ShareSliceEngine(PARTIES, seed=seed, network=network, local_parties=[party])
+        )
+    return engines
+
+
+def run_lockstep(engines, fn):
+    """Run ``fn(engine)`` concurrently on each engine (they block on each
+    other's frames) and return the per-engine results; re-raises the first
+    exception."""
+    results = [None] * len(engines)
+    errors = [None] * len(engines)
+
+    def work(i, engine):
+        try:
+            results[i] = fn(engine)
+        except BaseException as exc:  # noqa: BLE001 - reported to the test thread
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=work, args=(i, e), daemon=True)
+        for i, e in enumerate(engines)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+        assert not t.is_alive(), "lockstep protocol deadlocked"
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results
+
+
+def _demo_protocol(engine):
+    """share -> add -> mul -> compare -> open, exercising every round kind."""
+    if PARTY_A in engine.local_parties or engine.is_all_local:
+        x = engine.input_vector(np.array([3, -1, 7, 0]), contributor=PARTY_A)
+    else:
+        x = engine.input_vector(None, contributor=PARTY_A, num_rows=4)
+    if PARTY_B in engine.local_parties or engine.is_all_local:
+        y = engine.input_vector(np.array([2, 5, -4, 9]), contributor=PARTY_B)
+    else:
+        y = engine.input_vector(None, contributor=PARTY_B, num_rows=4)
+    z = engine.add(engine.mul(x, y), 10)
+    flags = engine.less_than(x, y)
+    z = engine.add(z, flags)
+    return engine.open(z)
+
+
+EXPECTED_DEMO = np.array([3 * 2 + 10, -5 + 10 + 1, -28 + 10, 0 + 10 + 1], dtype=np.int64)
+
+
+class TestShareSliceEngine:
+    def test_sliced_engines_match_the_all_local_simulation(self):
+        engines = sliced_engine_pair(seed=7)
+        opened = run_lockstep(engines, _demo_protocol)
+        simulated = _demo_protocol(SecretSharingEngine(PARTIES, seed=7))
+        np.testing.assert_array_equal(simulated, EXPECTED_DEMO)
+        for got in opened:
+            np.testing.assert_array_equal(got, simulated)
+        # Identical communication accounting on every engine.
+        sim_engine = SecretSharingEngine(PARTIES, seed=7)
+        _demo_protocol(sim_engine)
+        for engine in engines:
+            assert vars(engine.network.stats) == vars(sim_engine.network.stats)
+
+    def test_each_engine_holds_only_its_own_slice(self):
+        engines = sliced_engine_pair(seed=7)
+
+        def protocol(engine):
+            vec = _share_both(engine)
+            return vec
+
+        vecs = run_lockstep(engines, protocol)
+        for engine, vec in zip(engines, vecs):
+            assert engine.held_share_parties == (next(iter(engine.local_parties)),)
+            assert engine.num_local_shares == 1
+            assert len(vec.shares) == 1
+        # One slice alone reveals nothing: it differs from the cleartext,
+        # while both slices together reconstruct it.
+        cleartext = np.array([3, -1, 7, 0], dtype=np.int64)
+        both = [vecs[0].shares[0], vecs[1].shares[0]]
+        np.testing.assert_array_equal(AdditiveSharing.reconstruct(both), cleartext)
+        assert not np.array_equal(np.asarray(vecs[0].shares[0], dtype=np.int64), cleartext)
+
+    def test_reveal_to_returns_values_only_at_the_target(self):
+        engines = sliced_engine_pair(seed=11)
+
+        def protocol(engine):
+            vec = _share_both(engine)
+            return engine.reveal_to(vec, PARTY_B)
+
+        got_a, got_b = run_lockstep(engines, protocol)
+        assert got_a is None
+        np.testing.assert_array_equal(got_b, np.array([3, -1, 7, 0]))
+
+    def test_observer_engine_holds_nothing_and_refuses_primitives(self):
+        engine = ShareSliceEngine(PARTIES, seed=3, local_parties=[])
+        assert engine.held_share_parties == ()
+        with pytest.raises(RuntimeError, match="holds no share slices"):
+            engine.input_vector(np.array([1, 2]), contributor=PARTY_A)
+
+    def test_tampered_share_frame_corrupts_or_fails_the_opening(self):
+        """The acceptance property: flipping one share frame in transit must
+        change (or fail) the opened result — the wire bytes are load-bearing."""
+
+        def tamper(message):
+            sender, receiver, payload, size = message
+            tag, body = payload
+            if tag == "open-share" and isinstance(body, np.ndarray) and body.size:
+                body = body.copy()
+                body[0] += np.uint64(1)
+                return (sender, receiver, (tag, body), size)
+            return message
+
+        engines = sliced_engine_pair(seed=7, tamper_from_b=tamper)
+        try:
+            opened = run_lockstep(engines, _demo_protocol)
+        except (TransportError, RuntimeError):
+            return  # failing loudly satisfies the property too
+        got_a, got_b = opened
+        # Party A reconstructed from B's tampered frame: off by exactly the
+        # perturbation.  Party B used A's clean frame plus its own slice.
+        assert got_a[0] == EXPECTED_DEMO[0] + 1
+        np.testing.assert_array_equal(got_b, EXPECTED_DEMO)
+
+
+def _share_both(engine):
+    if PARTY_A in engine.local_parties or engine.is_all_local:
+        return engine.input_vector(np.array([3, -1, 7, 0]), contributor=PARTY_A)
+    return engine.input_vector(None, contributor=PARTY_A, num_rows=4)
+
+
+# -- restricted unpickler ------------------------------------------------------------------
+
+
+class _EvilSystem:
+    def __reduce__(self):
+        import os
+
+        return (os.system, ("echo pwned > /tmp/pwned",))
+
+
+class _EvilEval:
+    def __reduce__(self):
+        return (eval, ("1+1",))
+
+
+class TestRestrictedUnpickler:
+    @pytest.mark.parametrize("evil", [_EvilSystem, _EvilEval])
+    def test_malicious_frames_are_rejected(self, evil):
+        data = pickle.dumps(evil(), protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(WireError, match="forbidden global"):
+            restricted_loads(data)
+
+    def test_malicious_frame_rejected_by_decoder(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="forbidden global"):
+            decoder.feed(encode_frame(_EvilSystem()))
+
+    def test_legitimate_frames_round_trip(self):
+        from repro.data.schema import ColumnDef, Schema
+        from repro.data.table import Table
+
+        table = Table(Schema([ColumnDef("k"), ColumnDef("v")]),
+                      [np.arange(4), np.arange(4) * 2])
+        payloads = [
+            (3, KIND_MSG, 0, (PARTY_A, PARTY_B, ("open-share", np.arange(5, dtype=np.uint64)), 40)),
+            ("result", {"outputs": {"out": table}, "durations": {1: 0.5}}),
+            ("error", ValueError("boom")),
+            np.datetime64("2026-08-08"),
+        ]
+        decoder = FrameDecoder()
+        for payload in payloads:
+            (got,) = decoder.feed(encode_frame(payload))
+            if isinstance(payload, tuple) and payload[0] == "error":
+                assert isinstance(got[1], ValueError) and got[1].args == ("boom",)
+
+    def test_exception_subclasses_are_allowed_other_globals_are_not(self):
+        assert isinstance(
+            restricted_loads(pickle.dumps(TimeoutError("t"))), TimeoutError
+        )
+        with pytest.raises(WireError, match="forbidden global"):
+            restricted_loads(pickle.dumps(threading.Thread))
+
+
+# -- mesh poisoning of already-demultiplexed frames ----------------------------------------
+
+
+class TestMeshPoisonCoversBufferedFrames:
+    def test_buffered_frames_do_not_outlive_reader_death(self):
+        """Frames demultiplexed *before* the link died must not be served to
+        a consumer afterwards: the first receive reports the dead link."""
+        ours, theirs = socket.socketpair()
+        mesh = PeerMesh(PARTY_A, {PARTY_B: ours}, timeout=2.0)
+        try:
+            send_frame(theirs, (1, KIND_MSG, 0, "stale-frame-1"))
+            send_frame(theirs, (2, KIND_MSG, 0, "stale-frame-2"))
+            deadline = time.monotonic() + 5
+            key = (KIND_MSG, 0, PARTY_B)
+            while time.monotonic() < deadline:
+                q = mesh._queues.get(key)
+                if q is not None and q.qsize() >= 2:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("frames were never demultiplexed")
+            theirs.close()  # reader dies with a WireError
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and PARTY_B not in mesh._peer_errors:
+                time.sleep(0.01)
+            assert PARTY_B in mesh._peer_errors, "reader death was never detected"
+            with pytest.raises(TransportError, match="closed"):
+                mesh.receive_message(PARTY_B)
+            # ...and stays poisoned for later receives too.
+            with pytest.raises(TransportError, match="closed"):
+                mesh.receive_message(PARTY_B)
+        finally:
+            theirs.close()
+            mesh.close()
+
+
+# -- executor-matrix byte-identity ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan", range(NUM_SOCKET_PLANS))
+def test_columnar_executor_over_sockets_stays_byte_identical(plan):
+    """The slice engine must keep the full runtime x executor matrix
+    byte-identical: columnar over real per-party processes vs. the row
+    engine in the simulation."""
+    spec = generate_spec(SEED + plan)
+    _, sim_row = run_spec(spec, "python", "sharemind", seed=3, executor="row")
+    _, sock_col = run_spec(
+        spec, "python", "sharemind", runtime="sockets", seed=3, executor="columnar"
+    )
+    assert sim_row.outputs["out"] == sock_col.outputs["out"]
+    assert sim_row.mpc_profile == sock_col.mpc_profile
+    assert sorted(sock_col.outputs["out"].rows()) == oracle(spec)
+
+
+# -- corpus-wide isolation audit -----------------------------------------------------------
+
+
+def test_corpus_agents_never_hold_foreign_secrets():
+    """Across the 50-plan differential corpus, every agent process's
+    isolation audit must show it materialised only its own party's share
+    slices and only its own cleartext inputs."""
+    config = CompilationConfig(cleartext_backend="python", mpc_backend="sharemind")
+    with cc.QuerySession(PARTIES, config=config, seed=3) as session:
+        for plan in range(NUM_PLANS):
+            spec = generate_spec(SEED + plan)
+            ctx, inputs = build_query(spec)
+            compiled = cc.compile_query(ctx, config)
+            result = session.submit(compiled, inputs=inputs)
+            assert sorted(result.outputs["out"].rows()) == oracle(spec)
+            assert set(result.isolation) == set(PARTIES), (
+                f"plan {plan}: expected an isolation audit from every agent"
+            )
+            for party, audit in result.isolation.items():
+                assert audit["local_parties"] == [party], (
+                    f"plan {plan}: agent {party} executed for {audit['local_parties']}"
+                )
+                assert set(audit["share_parties"]) <= {party}, (
+                    f"plan {plan}: agent {party} materialised share slices of "
+                    f"{audit['share_parties']}"
+                )
+                assert set(audit["cleartext_input_parties"]) <= {party}, (
+                    f"plan {plan}: agent {party} held cleartext inputs of "
+                    f"{audit['cleartext_input_parties']}"
+                )

@@ -380,3 +380,19 @@ class TestConcurrencySoak:
         assert len(results) == 6
         for result in results:
             assert result.outputs["out"] == reference
+
+
+class TestTeardownErrorAccounting:
+    def test_swallowed_teardown_errors_are_counted_and_logged(self, caplog):
+        import logging
+
+        from repro.runtime import service
+
+        before = service.teardown_errors()
+        with caplog.at_level(logging.DEBUG, logger="repro.runtime.service"):
+            service._count_teardown_error("unit-test", RuntimeError("boom"))
+        assert service.teardown_errors() == before + 1
+        assert any(
+            "unit-test" in record.message and "boom" in record.message
+            for record in caplog.records
+        )

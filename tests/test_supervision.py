@@ -228,12 +228,12 @@ class TestFaultMatrix:
         assert stats["retries_exhausted"] == 0
 
     def test_torn_frame_is_a_process_death(self):
-        # 6 mesh frames per party per query (the batched share-vector
-        # protocols exchange whole columns per round): frame 8 tears
-        # mid-query-2, and the replacement's replay (6 frames, fresh
-        # per-process counter) finishes below the trigger instead of dying
-        # again.
-        stats = self._run(FaultPlan(links=(LinkFault(PARTY_B, "torn", 8),)))
+        # 9 mesh frames per party per query (the batched share-vector
+        # protocols exchange whole columns per round, including the
+        # environment-open rounds): frame 12 tears mid-query-2, and the
+        # replacement's replay (9 frames, fresh per-process counter)
+        # finishes below the trigger instead of dying again.
+        stats = self._run(FaultPlan(links=(LinkFault(PARTY_B, "torn", 12),)))
         assert stats["restarts"] >= 1
         assert stats["retries"] >= 1
 
