@@ -7,7 +7,9 @@ isolate the contribution of each transformation.
 
 from __future__ import annotations
 
+import ssl
 from dataclasses import dataclass, field
+from pathlib import Path
 
 
 @dataclass
@@ -53,9 +55,248 @@ class CompilationConfig:
     executor: str = "row"
     #: Host the runtime's mesh and control listeners bind and advertise to
     #: peers.  The loopback default keeps single-machine behaviour; set a
-    #: routable address to run agents across real hosts (TLS is a separate,
-    #: still-open roadmap item).
+    #: routable address to run agents across real hosts — and pass a
+    #: :class:`TransportSecurity` to ``open_session`` so the cross-host
+    #: links are mutually authenticated TLS, not plaintext.
     bind_host: str = "127.0.0.1"
+
+
+@dataclass
+class TransportSecurity:
+    """Mutual-TLS material for every mesh, control, and rejoin link.
+
+    A session configured with a ``TransportSecurity`` speaks TLS with
+    *mutual* authentication on every socket: the coordinator and each party
+    agent present a certificate issued by the session CA (:attr:`ca_cert`),
+    and both sides require and verify the peer's certificate against that
+    CA.  Identity is carried in the certificate's CN — ``server_context`` /
+    ``client_context`` disable hostname checking because parties move
+    between hosts; instead the runtime verifies the authenticated CN against
+    the party id claimed in the (nonce-carrying) hello frame, so a peer
+    cannot impersonate another party even after a crash and rejoin.
+
+    Certificates and keys are resolved per identity name: an explicit entry
+    in :attr:`certs` / :attr:`keys` wins, otherwise ``<cert_dir>/<name>.crt``
+    and ``<cert_dir>/<name>.key``.  For development and tests,
+    :meth:`dev` generates a throwaway CA plus per-identity credentials in a
+    directory; production deployments provision real per-party certificates
+    out of band and point the fields at them.
+    """
+
+    #: PEM file with the CA certificate every link verifies peers against.
+    ca_cert: str | Path = ""
+    #: Directory holding ``<name>.crt`` / ``<name>.key`` per identity.
+    cert_dir: str | Path | None = None
+    #: Per-identity certificate path overrides (win over :attr:`cert_dir`).
+    certs: dict[str, str | Path] = field(default_factory=dict)
+    #: Per-identity private-key path overrides (win over :attr:`cert_dir`).
+    keys: dict[str, str | Path] = field(default_factory=dict)
+    #: Identity name the coordinator authenticates as on control links.
+    coordinator_name: str = "coordinator"
+
+    def credentials(self, name: str) -> tuple[Path, Path]:
+        """The (certificate, key) PEM paths for identity ``name``."""
+        cert = self.certs.get(name)
+        key = self.keys.get(name)
+        if cert is None and self.cert_dir is not None:
+            cert = Path(self.cert_dir) / f"{name}.crt"
+        if key is None and self.cert_dir is not None:
+            key = Path(self.cert_dir) / f"{name}.key"
+        if cert is None or key is None:
+            raise ValueError(
+                f"TransportSecurity has no certificate/key for identity {name!r} "
+                "(set cert_dir or per-identity certs/keys entries)"
+            )
+        return Path(cert), Path(key)
+
+    def _context(self, name: str, *, server: bool) -> ssl.SSLContext:
+        cert, key = self.credentials(name)
+        context = ssl.SSLContext(
+            ssl.PROTOCOL_TLS_SERVER if server else ssl.PROTOCOL_TLS_CLIENT
+        )
+        # Party identity is the certificate CN, verified explicitly against
+        # the hello frame by the runtime; hostname checks would break the
+        # moment a party migrates hosts or rejoins from a new address.
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_REQUIRED
+        context.minimum_version = ssl.TLSVersion.TLSv1_2
+        # One reader thread and locked writer threads share each socket;
+        # renegotiation mid-stream would break that discipline.
+        context.options |= ssl.OP_NO_RENEGOTIATION
+        try:
+            context.load_verify_locations(cafile=str(self.ca_cert))
+            context.load_cert_chain(certfile=str(cert), keyfile=str(key))
+        except (OSError, ssl.SSLError) as exc:
+            raise ValueError(
+                f"TransportSecurity could not load credentials for {name!r}: {exc}"
+            ) from exc
+        return context
+
+    def server_context(self, name: str) -> ssl.SSLContext:
+        """A mutually-authenticating server-side context for identity ``name``."""
+        return self._context(name, server=True)
+
+    def client_context(self, name: str) -> ssl.SSLContext:
+        """A mutually-authenticating client-side context for identity ``name``."""
+        return self._context(name, server=False)
+
+    def validate(self, identities: list[str] | None = None) -> "TransportSecurity":
+        """Check the CA and (optionally) each identity's material exists."""
+        if not self.ca_cert or not Path(self.ca_cert).is_file():
+            raise ValueError(f"TransportSecurity.ca_cert {self.ca_cert!r} is not a readable file")
+        if not isinstance(self.coordinator_name, str) or not self.coordinator_name:
+            raise ValueError("TransportSecurity.coordinator_name must be a non-empty string")
+        for name in identities or ():
+            cert, key = self.credentials(name)
+            for path in (cert, key):
+                if not path.is_file():
+                    raise ValueError(
+                        f"TransportSecurity credential {path} for identity {name!r} is missing"
+                    )
+        return self
+
+    # -- development credential generation -------------------------------------------
+
+    @staticmethod
+    def dev(
+        identities: list[str],
+        directory: str | Path,
+        *,
+        coordinator_name: str = "coordinator",
+        valid_days: int = 365,
+    ) -> "TransportSecurity":
+        """Generate a throwaway CA plus per-identity credentials in ``directory``.
+
+        Every name in ``identities`` (plus ``coordinator_name``) gets a
+        key pair and a CA-signed certificate with its name as CN.  Uses the
+        ``cryptography`` package when available and falls back to the
+        ``openssl`` CLI otherwise; raises :class:`RuntimeError` when neither
+        is usable.  The CA key is kept in the directory so tests can
+        :meth:`issue` additional (e.g. already-expired) certificates.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        names = list(dict.fromkeys(list(identities) + [coordinator_name]))
+        security = TransportSecurity(
+            ca_cert=directory / "ca.crt",
+            cert_dir=directory,
+            coordinator_name=coordinator_name,
+        )
+        try:
+            security._dev_cryptography(names, valid_days)
+        except ImportError:
+            security._dev_openssl(names, valid_days)
+        return security
+
+    def issue(self, name: str, *, valid_days: int = 365) -> tuple[Path, Path]:
+        """(Re-)issue a certificate for ``name`` signed by the dev CA.
+
+        Requires the ``cryptography`` package and a ``ca.key`` next to
+        :attr:`ca_cert` (both guaranteed by :meth:`dev`'s primary path).
+        Negative ``valid_days`` mints an *already expired* certificate — the
+        fixture the TLS failure tests use.
+        """
+        directory = Path(self.cert_dir if self.cert_dir is not None else Path(self.ca_cert).parent)
+        self._issue_cryptography(directory, name, valid_days)
+        return self.credentials(name)
+
+    def _dev_cryptography(self, names: list[str], valid_days: int) -> None:
+        import datetime as _dt
+
+        from cryptography import x509
+        from cryptography.hazmat.primitives import hashes, serialization
+        from cryptography.hazmat.primitives.asymmetric import ec
+        from cryptography.x509.oid import NameOID
+
+        directory = Path(self.cert_dir)  # type: ignore[arg-type]
+        now = _dt.datetime.now(_dt.timezone.utc)
+        ca_key = ec.generate_private_key(ec.SECP256R1())
+        ca_name = x509.Name([x509.NameAttribute(NameOID.COMMON_NAME, "repro-dev-ca")])
+        ca_cert = (
+            x509.CertificateBuilder()
+            .subject_name(ca_name)
+            .issuer_name(ca_name)
+            .public_key(ca_key.public_key())
+            .serial_number(x509.random_serial_number())
+            .not_valid_before(now - _dt.timedelta(days=1))
+            .not_valid_after(now + _dt.timedelta(days=max(valid_days, 1)))
+            .add_extension(x509.BasicConstraints(ca=True, path_length=0), critical=True)
+            .sign(ca_key, hashes.SHA256())
+        )
+        (directory / "ca.crt").write_bytes(ca_cert.public_bytes(serialization.Encoding.PEM))
+        (directory / "ca.key").write_bytes(
+            ca_key.private_bytes(
+                serialization.Encoding.PEM,
+                serialization.PrivateFormat.PKCS8,
+                serialization.NoEncryption(),
+            )
+        )
+        for name in names:
+            self._issue_cryptography(directory, name, valid_days)
+
+    def _issue_cryptography(self, directory: Path, name: str, valid_days: int) -> None:
+        import datetime as _dt
+
+        from cryptography import x509
+        from cryptography.hazmat.primitives import hashes, serialization
+        from cryptography.hazmat.primitives.asymmetric import ec
+        from cryptography.x509.oid import NameOID
+
+        ca_cert = x509.load_pem_x509_certificate((directory / "ca.crt").read_bytes())
+        ca_key = serialization.load_pem_private_key(
+            (directory / "ca.key").read_bytes(), password=None
+        )
+        now = _dt.datetime.now(_dt.timezone.utc)
+        key = ec.generate_private_key(ec.SECP256R1())
+        not_after = now + _dt.timedelta(days=valid_days)
+        cert = (
+            x509.CertificateBuilder()
+            .subject_name(x509.Name([x509.NameAttribute(NameOID.COMMON_NAME, name)]))
+            .issuer_name(ca_cert.subject)
+            .public_key(key.public_key())
+            .serial_number(x509.random_serial_number())
+            .not_valid_before(min(now - _dt.timedelta(days=1), not_after - _dt.timedelta(days=1)))
+            .not_valid_after(not_after)
+            .add_extension(x509.BasicConstraints(ca=False, path_length=None), critical=True)
+            .sign(ca_key, hashes.SHA256())
+        )
+        (directory / f"{name}.crt").write_bytes(cert.public_bytes(serialization.Encoding.PEM))
+        (directory / f"{name}.key").write_bytes(
+            key.private_bytes(
+                serialization.Encoding.PEM,
+                serialization.PrivateFormat.PKCS8,
+                serialization.NoEncryption(),
+            )
+        )
+
+    def _dev_openssl(self, names: list[str], valid_days: int) -> None:
+        import shutil
+        import subprocess
+
+        if shutil.which("openssl") is None:
+            raise RuntimeError(
+                "TransportSecurity.dev needs either the 'cryptography' package "
+                "or the 'openssl' CLI; neither is available"
+            )
+        directory = Path(self.cert_dir)  # type: ignore[arg-type]
+        days = str(max(valid_days, 1))
+
+        def run(*argv: str) -> None:
+            subprocess.run(argv, check=True, capture_output=True, cwd=directory)
+
+        run("openssl", "ecparam", "-name", "prime256v1", "-genkey", "-noout",
+            "-out", "ca.key")
+        run("openssl", "req", "-x509", "-new", "-key", "ca.key", "-sha256",
+            "-days", days, "-subj", "/CN=repro-dev-ca", "-out", "ca.crt")
+        for name in names:
+            run("openssl", "ecparam", "-name", "prime256v1", "-genkey", "-noout",
+                "-out", f"{name}.key")
+            run("openssl", "req", "-new", "-key", f"{name}.key",
+                "-subj", f"/CN={name}", "-out", f"{name}.csr")
+            run("openssl", "x509", "-req", "-in", f"{name}.csr", "-CA", "ca.crt",
+                "-CAkey", "ca.key", "-CAcreateserial", "-days", days, "-sha256",
+                "-out", f"{name}.crt")
+            (directory / f"{name}.csr").unlink(missing_ok=True)
 
 
 @dataclass

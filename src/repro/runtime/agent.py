@@ -63,7 +63,13 @@ from repro.runtime.mesh import (
     connect_mesh,
     rejoin_mesh,
 )
-from repro.runtime.wire import recv_frame, send_frame
+from repro.runtime.wire import (
+    encode_frame,
+    peer_common_name,
+    recv_frame,
+    secure_client_socket,
+    send_frame,
+)
 
 #: How long a survivor waits in ``accept`` for a restarted peer's rejoin
 #: dial before reporting failure back to the supervisor (which then burns a
@@ -174,16 +180,30 @@ def agent_main(
     port: int,
     timeout: float = 60.0,
     bind_host: str = "127.0.0.1",
+    security=None,
 ) -> None:
     """Process entry point: handshake, mesh setup, then serve queries.
 
     ``host``/``port`` locate the coordinator's control listener;
     ``bind_host`` is where this agent binds its own mesh listener and the
     host it advertises to peers (loopback by default; a routable address
-    for multi-machine deployments).
+    for multi-machine deployments).  With ``security`` (a
+    :class:`~repro.core.config.TransportSecurity`) the control link and
+    every mesh link speak mutually-authenticated TLS: this agent presents
+    the ``party`` certificate, requires the coordinator's certificate to
+    carry its configured name, and hellos carry the session nonce from the
+    coordinator's session bundle.
     """
     control = socket.create_connection((host, port), timeout=timeout)
     control.settimeout(timeout)
+    if security is not None:
+        control = secure_client_socket(control, security.client_context(party))
+        coordinator_cn = peer_common_name(control)
+        if coordinator_cn != security.coordinator_name:
+            raise RuntimeError(
+                f"agent {party!r} expected the coordinator certificate to name "
+                f"{security.coordinator_name!r}, got {coordinator_cn!r}"
+            )
     mesh: PeerMesh | None = None
     listener = None
     try:
@@ -212,6 +232,7 @@ def agent_main(
         tag, ports = recv_frame(control)
         if tag != "peers":
             raise RuntimeError(f"agent {party!r} expected a peers frame, got {tag!r}")
+        nonce = bundle.get("nonce")
         if bundle.get("rejoin"):
             # Replacement for a crashed agent: the survivors are parked in
             # accept by the supervisor's rejoin broadcast — dial them all.
@@ -219,19 +240,22 @@ def agent_main(
                 party, parties, ports, timeout=run_timeout,
                 epoch=bundle["epoch"], injector=injector,
                 released_watermark=bundle.get("released_watermark", 0),
+                security=security, nonce=nonce, bind_host=bind_host,
             )
         else:
             mesh = connect_mesh(
-                party, parties, ports, listener, timeout=run_timeout, injector=injector
+                party, parties, ports, listener, timeout=run_timeout,
+                injector=injector, security=security, nonce=nonce,
+                bind_host=bind_host,
             )
 
         agent = PartyAgent(party, parties, mesh, session_inputs=bundle.get("inputs"))
         send_frame(control, ("ready", None))
         _serve(agent, control, run_timeout, idle_timeout, max_workers,
-               injector=injector, listener=listener)
+               injector=injector, listener=listener, security=security, nonce=nonce)
     except BaseException as exc:  # noqa: BLE001 - everything must reach the coordinator
         try:
-            send_frame(control, ("fatal", _picklable(exc), traceback.format_exc()))
+            send_frame(control, ("fatal", _wire_safe(exc), traceback.format_exc()))
         except Exception:
             pass
     finally:
@@ -257,6 +281,8 @@ def _serve(
     *,
     injector=None,
     listener: socket.socket | None = None,
+    security=None,
+    nonce: str | None = None,
 ) -> None:
     """The agent's query-serving loop (runs until shutdown/idle/EOF)."""
     send_lock = threading.Lock()
@@ -277,7 +303,7 @@ def _serve(
             payload = agent.run_query(query_id, fingerprint, config, seed, inputs)
             frame = ("result", query_id, payload)
         except BaseException as exc:  # noqa: BLE001 - ship the error to the driver
-            frame = ("error", query_id, _picklable(exc), traceback.format_exc())
+            frame = ("error", query_id, _wire_safe(exc), traceback.format_exc())
         with state_lock:
             in_flight.discard(query_id)
             last_activity = time.monotonic()
@@ -290,7 +316,7 @@ def _serve(
             # ship an error frame in its place; if the link itself is dead,
             # this fails too and the coordinator's EOF handling takes over.
             try:
-                reply(("error", query_id, _picklable(exc), traceback.format_exc()))
+                reply(("error", query_id, _wire_safe(exc), traceback.format_exc()))
             except Exception:  # noqa: BLE001 - coordinator gone
                 pass
 
@@ -340,6 +366,7 @@ def _serve(
                     sock = accept_rejoin(
                         listener, agent.party, peer, peer_epoch,
                         info.get("timeout", REJOIN_ACCEPT_SECONDS),
+                        security=security, nonce=nonce,
                     )
                     agent.mesh.replace_peer(peer, sock)
                 except Exception as exc:  # noqa: BLE001 - report, do not die
@@ -366,12 +393,11 @@ def _serve(
             pool.shutdown(wait=True)
 
 
-def _picklable(exc: BaseException) -> BaseException:
-    """Return ``exc`` if it survives pickling, else an equivalent RuntimeError."""
-    import pickle
-
+def _wire_safe(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it is expressible on the wire, else an equivalent
+    RuntimeError (the codec may be running with the pickle fallback off)."""
     try:
-        pickle.loads(pickle.dumps(exc))
+        encode_frame(exc)
         return exc
     except Exception:
         return RuntimeError(f"{type(exc).__name__}: {exc}")

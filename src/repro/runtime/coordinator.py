@@ -43,6 +43,7 @@ class SocketCoordinator:
         *,
         timeout: float = 60.0,
         start_method: str | None = None,
+        security=None,
     ):
         self.parties = list(parties)
         self.inputs = inputs
@@ -50,6 +51,9 @@ class SocketCoordinator:
         self.seed = seed
         self.timeout = timeout
         self.start_method = start_method
+        #: Optional :class:`~repro.core.config.TransportSecurity` wrapping
+        #: every control/mesh link of the sessions this coordinator opens.
+        self.security = security
 
     def open_session(self, *, idle_timeout: float | None = None) -> QuerySession:
         """Open a persistent session over this coordinator's parties/inputs."""
@@ -61,6 +65,7 @@ class SocketCoordinator:
             timeout=self.timeout,
             idle_timeout=idle_timeout,
             start_method=self.start_method,
+            security=self.security,
         )
 
     def run(self, compiled):
@@ -77,6 +82,7 @@ class SocketCoordinator:
             timeout=self.timeout,
             start_method=self.start_method,
             runtime_label="sockets",
+            security=self.security,
         )
         try:
             # Bound the wait like the pre-service coordinator's result read
@@ -96,6 +102,7 @@ def run_query_sockets(
     config: CompilationConfig | None = None,
     seed: int = 0,
     timeout: float = 60.0,
+    security=None,
 ):
     """Compile (if needed) and execute a query with one process per party.
 
@@ -107,5 +114,7 @@ def run_query_sockets(
     config = config or CompilationConfig()
     compiled = query if isinstance(query, CompiledQuery) else compile_query(query, config)
     parties = sorted(compiled.dag.parties() | set(inputs))
-    coordinator = SocketCoordinator(parties, inputs, config, seed=seed, timeout=timeout)
+    coordinator = SocketCoordinator(
+        parties, inputs, config, seed=seed, timeout=timeout, security=security
+    )
     return coordinator.run(compiled)

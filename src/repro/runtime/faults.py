@@ -88,7 +88,14 @@ class LinkFault:
     * ``delay`` — the send is stalled by ``delay_seconds`` first;
     * ``torn``  — a partial frame is written and the process hard-exits:
       the receiver sees a stream dying mid-frame (``WireError``), the
-      supervisor sees a dead agent.
+      supervisor sees a dead agent.  On a TLS session the partial frame is
+      written *through* the secured socket (the tear happens above TLS, in
+      framing bytes), so the receiver still observes a record-aligned
+      stream that dies inside a frame — the same mid-frame ``WireError``,
+      not a TLS-level corruption; frames too small to tear (header plus
+      fewer than two payload bytes) raise instead of silently sending a
+      clean prefix, so the fault matrix always exercises the mid-frame
+      path it promises.
     """
 
     party: str

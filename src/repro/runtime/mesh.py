@@ -58,6 +58,7 @@ import random
 import socket
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
@@ -66,7 +67,10 @@ from repro.runtime.wire import (
     LinkStats,
     WireError,
     encode_frame,
+    peer_common_name,
     recv_frame,
+    secure_client_socket,
+    secure_server_socket,
     send_frame,
     send_torn_frame,
 )
@@ -491,17 +495,72 @@ def bind_listener(timeout: float, host: str = "127.0.0.1") -> socket.socket:
     return listener
 
 
-def _endpoint(value) -> tuple[str, int]:
+def _is_loopback(host: str) -> bool:
+    return host == "localhost" or host == "::1" or host.startswith("127.")
+
+
+def _endpoint(value, bind_host: str = "127.0.0.1") -> tuple[str, int]:
     """Normalise a peer address to a ``(host, port)`` endpoint.
 
-    Agents advertise full endpoints, but a bare port (the pre-``bind_host``
-    wire format, still used by some tests) is accepted and assumed to be
-    loopback.
+    Agents advertise full endpoints.  A bare port (the pre-``bind_host``
+    wire format, still emitted by some tests) is only meaningful when the
+    session itself is loopback — it is accepted there with a
+    :class:`DeprecationWarning` — and is a :class:`WireError` on a
+    multi-host session (``bind_host`` non-loopback), where "assume
+    127.0.0.1" would silently dial the wrong machine.
     """
     if isinstance(value, (tuple, list)):
         host, port = value
         return str(host), int(port)
+    if not _is_loopback(bind_host):
+        raise WireError(
+            f"bare advertised port {value!r} is ambiguous on a multi-host session "
+            f"(bind_host={bind_host!r}); advertise a full (host, port) endpoint"
+        )
+    warnings.warn(
+        "bare advertised ports are deprecated; advertise (host, port) endpoints",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return "127.0.0.1", int(value)
+
+
+def _verify_peer_identity(sock: socket.socket, claimed: str, party: str) -> None:
+    """Check the TLS-authenticated CN matches the party id a hello claims.
+
+    On plaintext links there is no certificate and nothing to check; on TLS
+    links (mutual authentication, so a verified peer certificate is always
+    present) a mismatch means impersonation and fails the handshake.
+    """
+    cn = peer_common_name(sock)
+    if cn is not None and cn != claimed:
+        raise TransportError(
+            f"agent {party!r} rejected a hello claiming party {claimed!r}: the "
+            f"peer's TLS certificate authenticates {cn!r}"
+        )
+
+
+def _check_mesh_hello(frame, party: str, order: list[str], nonce: str | None) -> str:
+    """Validate an inbound mesh hello; returns the authenticated party id.
+
+    Hellos carry ``("hello", party, nonce)``; the legacy nonce-less form is
+    accepted only when the session has no nonce (direct test wiring).  A
+    wrong or missing nonce is an impersonation attempt (or a stray client)
+    and fails the handshake.
+    """
+    if (
+        not isinstance(frame, tuple)
+        or len(frame) not in (2, 3)
+        or frame[0] != "hello"
+        or frame[1] not in order
+    ):
+        raise TransportError(f"agent {party!r} received a malformed mesh hello: {frame!r}")
+    got_nonce = frame[2] if len(frame) == 3 else None
+    if nonce is not None and got_nonce != nonce:
+        raise TransportError(
+            f"agent {party!r} rejected a mesh hello from {frame[1]!r}: wrong session nonce"
+        )
+    return frame[1]
 
 
 def connect_mesh(
@@ -512,20 +571,30 @@ def connect_mesh(
     timeout: float = 60.0,
     *,
     injector=None,
+    security=None,
+    nonce: str | None = None,
+    bind_host: str = "127.0.0.1",
 ) -> PeerMesh:
     """Establish the full mesh for ``party`` given every agent's endpoint.
 
     ``parties`` is the shared, ordered party list; agent *i* dials every
     agent *j < i* and accepts one connection from every agent *j > i*.
     ``ports`` maps party -> advertised ``(host, port)`` endpoint (bare ports
-    are accepted as loopback).
+    are accepted as loopback only).  With ``security`` every link is wrapped
+    in mutually-authenticated TLS and each hello's claimed party id is
+    verified against the peer certificate's CN; ``nonce`` (the session
+    secret the coordinator handed every agent) must match on every hello.
     """
     order = list(parties)
     index = order.index(party)
     connections: dict[str, socket.socket] = {}
+    server_context = None if security is None else security.server_context(party)
 
     for peer in order[:index]:
-        connections[peer] = _dial(party, peer, _endpoint(ports[peer]), timeout)
+        connections[peer] = _dial(
+            party, peer, _endpoint(ports[peer], bind_host), timeout,
+            security=security, nonce=nonce,
+        )
 
     for _ in order[index + 1:]:
         try:
@@ -536,9 +605,11 @@ def connect_mesh(
             ) from exc
         sock.settimeout(timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        hello, peer = recv_frame(sock)
-        if hello != "hello" or peer not in order:
-            raise TransportError(f"agent {party!r} received a malformed mesh hello: {hello!r}")
+        if server_context is not None:
+            sock = secure_server_socket(sock, server_context)
+        frame = recv_frame(sock)
+        peer = _check_mesh_hello(frame, party, order, nonce)
+        _verify_peer_identity(sock, peer, party)
         connections[peer] = sock
 
     return PeerMesh(party, connections, timeout=timeout, injector=injector)
@@ -553,23 +624,33 @@ def rejoin_mesh(
     epoch: int,
     injector=None,
     released_watermark: int = 0,
+    security=None,
+    nonce: str | None = None,
+    bind_host: str = "127.0.0.1",
 ) -> PeerMesh:
     """Build the mesh for a *restarted* ``party`` joining a live session.
 
     Unlike :func:`connect_mesh`'s rank-ordered dial/accept split, a rejoining
     agent always **dials** every surviving peer (survivors are parked in
     ``accept`` by the supervisor's rejoin broadcast) and introduces itself
-    with an epoch-tagged hello, so survivors can tell this restart's
-    connection apart from a stale one left over by an earlier failed attempt.
+    with an epoch-tagged (and, with a session ``nonce``, nonce-carrying)
+    hello, so survivors can tell this restart's connection apart from a
+    stale one left over by an earlier failed attempt — and, under TLS, from
+    an impersonator that knows the party id but holds the wrong certificate.
     ``ports`` holds only the *live* peers — a peer that is itself down is
     absent and will dial us once its own restart reaches this point.
     """
     connections: dict[str, socket.socket] = {}
     try:
         for peer in sorted(p for p in parties if p != party and p in ports):
+            hello = (
+                ("rejoin-hello", party, epoch)
+                if nonce is None
+                else ("rejoin-hello", party, epoch, nonce)
+            )
             connections[peer] = _dial(
-                party, peer, _endpoint(ports[peer]), timeout,
-                hello=("rejoin-hello", party, epoch),
+                party, peer, _endpoint(ports[peer], bind_host), timeout,
+                hello=hello, security=security, nonce=nonce,
             )
     except Exception:
         for sock in connections.values():
@@ -590,15 +671,28 @@ def accept_rejoin(
     peer: str,
     epoch: int,
     timeout: float,
+    *,
+    security=None,
+    nonce: str | None = None,
 ) -> socket.socket:
     """Survivor side of the restart handshake: accept ``peer``'s rejoin dial.
 
     Accepts connections off ``listener`` until one presents the expected
-    ``("rejoin-hello", peer, epoch)``; anything else — a stale hello from an
-    earlier restart attempt of the same peer, a malformed frame, a dead
-    connection — is closed and draining continues.  Raises
-    :class:`MeshTimeout` when the deadline passes first.
+    rejoin hello for ``(peer, epoch)`` — with the session nonce when one is
+    set; anything stale — a hello from an earlier restart attempt of the
+    same peer, a malformed frame, a dead connection, a failed TLS handshake
+    — is closed and draining continues.  A connection that *claims* to be
+    ``peer`` at the right epoch but fails authentication (wrong nonce, or a
+    TLS certificate naming another party) is an impersonation attempt and
+    raises :class:`TransportError` immediately.  Raises :class:`MeshTimeout`
+    when the deadline passes first.
     """
+    server_context = None if security is None else security.server_context(party)
+    expected = (
+        ("rejoin-hello", peer, epoch)
+        if nonce is None
+        else ("rejoin-hello", peer, epoch, nonce)
+    )
     deadline = time.monotonic() + timeout
     while True:
         remaining = deadline - time.monotonic()
@@ -615,13 +709,33 @@ def accept_rejoin(
             ) from exc
         sock.settimeout(timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if server_context is not None:
+            try:
+                sock = secure_server_socket(sock, server_context)
+            except WireError:
+                continue  # stray client / failed handshake: drain and keep waiting
         try:
             frame = recv_frame(sock)
         except (WireError, OSError):
             sock.close()
             continue
-        if frame == ("rejoin-hello", peer, epoch):
+        if frame == expected:
+            _verify_peer_identity(sock, peer, party)
             return sock
+        if (
+            isinstance(frame, tuple)
+            and len(frame) in (3, 4)
+            and frame[0] == "rejoin-hello"
+            and frame[1] == peer
+            and frame[2] == epoch
+        ):
+            # Right peer and epoch but wrong/missing session nonce: that is
+            # not a stale restart attempt, it is an impersonation attempt.
+            sock.close()
+            raise TransportError(
+                f"agent {party!r} rejected a rejoin hello claiming {peer!r} "
+                f"(epoch {epoch}): wrong session nonce"
+            )
         sock.close()  # stale epoch / unexpected party: drain and keep waiting
 
 
@@ -632,13 +746,22 @@ def _dial(
     timeout: float,
     *,
     hello: tuple | None = None,
+    security=None,
+    nonce: str | None = None,
 ) -> socket.socket:
     """Dial ``peer`` at its advertised ``(host, port)`` endpoint with
     jittered exponential backoff until the retry window closes.  The jitter
     is deterministic per (party, peer, endpoint) — restarts replay
     identically — while still decorrelating the parties of one mesh, so N
-    agents dialling a slow starter don't retry in lockstep."""
+    agents dialling a slow starter don't retry in lockstep.
+
+    With ``security`` the connection is wrapped in mutually-authenticated
+    TLS before the hello is sent, and the peer certificate's CN must match
+    ``peer`` — a TLS handshake or identity failure is deterministic and
+    fails immediately instead of burning the retry window.
+    """
     host, port = endpoint
+    client_context = None if security is None else security.client_context(party)
     deadline = time.monotonic() + min(_DIAL_RETRY_SECONDS, timeout)
     rng = random.Random(f"{party}->{peer}:{host}:{port}")
     delay = 0.02
@@ -646,12 +769,31 @@ def _dial(
     while True:
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
-            sock.settimeout(timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            send_frame(sock, hello if hello is not None else ("hello", party))
-            return sock
         except OSError as exc:
             last_error = exc
+            sock = None
+        if sock is not None:
+            sock.settimeout(timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if client_context is not None:
+                # A certificate problem will not heal on retry: fail closed
+                # now with the structured WireError from the wrap helper.
+                sock = secure_client_socket(sock, client_context)
+                _verify_peer_identity(sock, peer, party)
+            if hello is None:
+                hello = ("hello", party) if nonce is None else ("hello", party, nonce)
+            try:
+                send_frame(sock, hello)
+            except WireError as exc:
+                # The peer accepted but the link died under the hello (e.g.
+                # it was still draining stale connections): transient, retry.
+                last_error = exc
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            else:
+                return sock
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             break

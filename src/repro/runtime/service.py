@@ -29,20 +29,34 @@ import hashlib
 import logging
 import multiprocessing
 import pickle
+import secrets
 import socket
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
-from repro.core.config import CompilationConfig, GatewayConfig, RestartPolicy, RetryPolicy
+from repro.core.config import (
+    CompilationConfig,
+    GatewayConfig,
+    RestartPolicy,
+    RetryPolicy,
+    TransportSecurity,
+)
 from repro.runtime.agent import AGENT_MAX_WORKERS, agent_main
 from repro.runtime.gateway import DEFAULT_ANALYST, QueryGateway, QueryRejected  # noqa: F401
 from repro.runtime.mesh import bind_listener
 from repro.runtime.metrics import GatewayMetrics, MetricsServer
 from repro.runtime.supervisor import AgentSupervisor
 from repro.runtime.transport import TransportError
-from repro.runtime.wire import WireError, encode_frame, recv_frame, send_frame
+from repro.runtime.wire import (
+    WireError,
+    encode_frame,
+    peer_common_name,
+    recv_frame,
+    secure_server_socket,
+    send_frame,
+)
 
 logger = logging.getLogger("repro.runtime.service")
 
@@ -267,12 +281,22 @@ class AgentPool:
         metrics: GatewayMetrics | None = None,
         on_restart=None,
         bind_host: str = "127.0.0.1",
+        security: TransportSecurity | None = None,
     ):
         self.parties = list(parties)
         self.timeout = timeout
         #: Host the control listener binds and the agents advertise their
         #: mesh endpoints on (loopback unless the session asks otherwise).
         self.bind_host = bind_host
+        #: Mutual-TLS material for every control and mesh link (``None``
+        #: keeps the plaintext loopback behaviour).
+        self.security = security
+        if security is not None:
+            security.validate(list(parties) + [security.coordinator_name])
+        #: Per-session secret every hello (mesh and rejoin alike) must echo;
+        #: generated fresh per pool, shipped to agents inside the session
+        #: bundle over the (authenticated) control link.
+        self._nonce = secrets.token_hex(16)
         self.idle_timeout = idle_timeout
         self.max_workers = max_workers
         self._on_retire = on_retire
@@ -324,6 +348,7 @@ class AgentPool:
                     "max_workers": max_workers,
                     "inputs": self._inputs.get(party, {}),
                     "faults": faults.for_party(party) if faults else None,
+                    "nonce": self._nonce,
                 }))
 
             for party, sock in self._connections.items():
@@ -359,7 +384,8 @@ class AgentPool:
     def _spawn_agent(self, party: str, port: int):
         proc = self._ctx.Process(
             target=agent_main,
-            args=(party, self.bind_host, port, self.timeout, self.bind_host),
+            args=(party, self.bind_host, port, self.timeout, self.bind_host,
+                  self.security),
             daemon=True,
             name=f"conclave-agent-{party}",
         )
@@ -370,6 +396,10 @@ class AgentPool:
     # -- handshake ---------------------------------------------------------------------
 
     def _accept_agents(self, listener: socket.socket) -> dict[str, socket.socket]:
+        server_context = (
+            None if self.security is None
+            else self.security.server_context(self.security.coordinator_name)
+        )
         connections: dict[str, socket.socket] = {}
         for _ in self.parties:
             try:
@@ -380,9 +410,20 @@ class AgentPool:
                     f"of {self.parties}"
                 ) from exc
             sock.settimeout(self.timeout + 10)
+            if server_context is not None:
+                try:
+                    sock = secure_server_socket(sock, server_context)
+                except WireError as exc:
+                    raise AgentFailure(f"agent control handshake failed: {exc}") from exc
             tag, party = recv_frame(sock)
             if tag != "hello" or party not in self.parties or party in connections:
                 raise AgentFailure(f"malformed agent hello: {(tag, party)!r}")
+            cn = peer_common_name(sock)
+            if cn is not None and cn != party:
+                raise AgentFailure(
+                    f"agent hello claims party {party!r} but its TLS certificate "
+                    f"authenticates {cn!r}"
+                )
             connections[party] = sock
         return connections
 
@@ -614,10 +655,20 @@ class AgentPool:
                     f"replacement agent {party!r} never connected back"
                 ) from exc
             sock.settimeout(self.timeout + 10)
+            if self.security is not None:
+                sock = secure_server_socket(
+                    sock, self.security.server_context(self.security.coordinator_name)
+                )
             tag, hello_party = recv_frame(sock)
             if tag != "hello" or hello_party != party:
                 raise AgentFailure(
                     f"malformed replacement hello: {(tag, hello_party)!r}"
+                )
+            cn = peer_common_name(sock)
+            if cn is not None and cn != party:
+                raise AgentFailure(
+                    f"replacement hello claims party {party!r} but its TLS "
+                    f"certificate authenticates {cn!r}"
                 )
             send_frame(sock, ("session", {
                 "parties": self.parties,
@@ -628,6 +679,7 @@ class AgentPool:
                 "faults": self._faults.for_party(party) if self._faults else None,
                 "rejoin": True,
                 "epoch": epoch,
+                "nonce": self._nonce,
                 # Ids at or below this are finished (or failed-and-retried
                 # under a *new* id): the replacement's mesh drops their late
                 # frames instead of queueing them forever.
@@ -938,6 +990,7 @@ class QuerySession:
         restart: RestartPolicy | None = None,
         retry: RetryPolicy | None = None,
         faults=None,
+        security: TransportSecurity | None = None,
     ):
         if not isinstance(max_workers, int) or isinstance(max_workers, bool) or max_workers < 1:
             raise ValueError(f"max_workers must be an int >= 1, got {max_workers!r}")
@@ -979,6 +1032,7 @@ class QuerySession:
             metrics=self._metrics,
             on_restart=self._party_restarted,
             bind_host=self.config.bind_host,
+            security=security,
         )
         self._metrics.set_wire_provider(self._pool.wire_traffic)
         _ACTIVE_SESSIONS.add(self)
@@ -1312,6 +1366,7 @@ def open_session(
     restart: RestartPolicy | None = None,
     retry: RetryPolicy | None = None,
     faults=None,
+    security: TransportSecurity | None = None,
 ) -> QuerySession:
     """Open a persistent query session over one agent process per party.
 
@@ -1332,7 +1387,11 @@ def open_session(
     crash (or by a transport-level failure) replay transparently — safe
     because queries are pure functions of (plan, inputs, seed).  ``faults``
     (a :class:`~repro.runtime.faults.FaultPlan`) arms the deterministic
-    fault-injection harness used by the chaos tests.  Close the session
+    fault-injection harness used by the chaos tests.  ``security`` (a
+    :class:`~repro.core.config.TransportSecurity`) wraps every control,
+    mesh and rejoin link in mutually-authenticated TLS and makes every
+    hello carry the session nonce — required for deployments that leave
+    loopback (pair it with ``config.bind_host``).  Close the session
     explicitly or use it as a context manager::
 
         with cc.open_session(inputs) as session:
@@ -1356,6 +1415,7 @@ def open_session(
         restart=restart,
         retry=retry,
         faults=faults,
+        security=security,
     )
 
 

@@ -38,7 +38,11 @@ The recovery protocol for a dead ``party`` (all on the restart worker):
 4. broadcast a ``rejoin`` control frame to every survivor, parking each in
    :func:`~repro.runtime.mesh.accept_rejoin` for the replacement's
    epoch-tagged dial (stale connections from earlier failed attempts are
-   drained by the epoch check);
+   drained by the epoch check; on a session with a
+   :class:`~repro.core.config.TransportSecurity`, the rejoin link is
+   mutually-authenticated TLS and the hello must also echo the session
+   nonce and match the dialler's certificate CN — a crashed party's
+   identity cannot be claimed by an impostor during the rejoin window);
 5. send the replacement the *live* peer ports; it dials every survivor via
    :func:`~repro.runtime.mesh.rejoin_mesh` and reports ``ready``;
 6. await every survivor's ``rejoined`` acknowledgement (forwarded by the

@@ -1,18 +1,25 @@
-"""Length-prefixed pickle framing for the socket runtime.
+"""Length-prefixed framing and the self-describing wire codec.
 
 Every connection of the distributed runtime — coordinator-to-agent control
 links and the agent-to-agent mesh — speaks the same trivial protocol: a
-4-byte big-endian length header followed by a pickled Python object.  The
-payloads never leave the local machine group running the query (parties are
-mutually known processes of one deployment), but "mutually known" is not
-"mutually trusted": a compromised peer must not get arbitrary code execution
-on every other party just by naming ``os.system`` in a pickle frame.  All
-frames are therefore decoded through :class:`RestrictedUnpickler`, which
-resolves only an allowlist of globals — builtin containers, ``repro.*``
-types, numpy array-reconstruction callables, and exception classes — and
-rejects everything else with :class:`WireError` before any object is built.
-A production deployment would still swap in msgpack plus TLS, which is
-exactly why the framing lives in its own module.
+4-byte big-endian length header followed by one encoded payload.  The
+payload encoding is a tag-length-value codec over the *closed* set of types
+that legitimately cross the wire: ``None``/bools, ints, floats, complex,
+str/bytes/bytearray, lists/tuples/dicts/sets/frozensets, NumPy arrays and
+scalars (dtype + shape + raw buffer), instances of classes defined inside
+the ``repro`` package (module + qualname + attribute state), enums from the
+``repro`` package, and exception envelopes.  Nothing else is expressible,
+so arbitrary-object deserialization is structurally impossible: the decoder
+builds containers and fills attribute dicts, it never resolves or calls a
+global outside the ``repro`` package and the exception allowlist.
+
+Legacy pickle frames are still *accepted* (and emitted for payloads the
+codec cannot express) through :class:`RestrictedUnpickler`, but only while
+the fallback is enabled — set ``REPRO_WIRE_PICKLE=0`` in the environment
+(or call :func:`set_pickle_fallback`) to refuse pickle on the wire
+entirely, which is the recommended posture for multi-host deployments.
+Codec payloads start with the magic byte ``0xC7``; pickle protocol >= 2
+payloads start with ``0x80``, so the two are unambiguous on the stream.
 
 The framing is exposed in two forms:
 
@@ -26,15 +33,27 @@ The framing is exposed in two forms:
   plain bytes, so framing properties (round-trips, interleaving, truncation
   rejection) are testable without sockets and the decoder can be reused by
   future non-socket transports.
+
+TLS support lives here too: :func:`secure_server_socket` /
+:func:`secure_client_socket` wrap an accepted/dialled socket with a context
+built by :class:`repro.core.config.TransportSecurity`, and
+:func:`peer_common_name` extracts the authenticated identity (the
+certificate CN) that hello verification checks party ids against.
 """
 
 from __future__ import annotations
 
+import importlib
 import io
+import os
 import pickle
 import socket
+import ssl
 import struct
+import sys
 import threading
+
+import numpy as np
 
 #: Upper bound on a single frame; a frame larger than this indicates stream
 #: corruption (e.g. a desynchronised header), not a legitimate payload.
@@ -42,14 +61,27 @@ MAX_FRAME_BYTES = 1 << 30
 
 _HEADER = struct.Struct(">I")
 
+#: First byte of every codec payload.  Pickle protocol >= 2 streams start
+#: with ``0x80``, so the magic unambiguously separates codec frames from
+#: legacy pickle frames on the same stream.
+CODEC_MAGIC = 0xC7
+
 
 class WireError(ConnectionError):
     """A connection failed mid-frame or produced a corrupt frame."""
 
 
-#: Builtins a frame may name directly.  Deliberately excludes ``getattr``,
-#: ``eval`` and friends — anything callable that could reach beyond plain
-#: data construction.
+class UnsupportedPayload(TypeError):
+    """A payload contains an object outside the codec's closed type set."""
+
+
+# --------------------------------------------------------------------------
+# legacy pickle fallback (restricted unpickler), gated by REPRO_WIRE_PICKLE
+# --------------------------------------------------------------------------
+
+#: Builtins a pickle frame may name directly.  Deliberately excludes
+#: ``getattr``, ``eval`` and friends — anything callable that could reach
+#: beyond plain data construction.
 _SAFE_BUILTINS = frozenset({
     "bool", "bytearray", "bytes", "complex", "dict", "float", "frozenset",
     "int", "list", "object", "range", "set", "slice", "str", "tuple",
@@ -60,6 +92,47 @@ _SAFE_BUILTINS = frozenset({
 #: module layouts.
 _SAFE_NUMPY = frozenset({"_reconstruct", "ndarray", "dtype", "scalar", "_frombuffer"})
 
+_FALLBACK_OVERRIDE: bool | None = None
+
+
+def set_pickle_fallback(enabled: bool | None) -> None:
+    """Programmatically force the legacy pickle fallback on or off.
+
+    ``None`` restores the environment-driven default (``REPRO_WIRE_PICKLE``,
+    enabled unless set to ``0``).  The flag is consulted at every encode and
+    decode, so it also governs frames exchanged with already-forked agent
+    processes (which inherit the environment).
+    """
+    global _FALLBACK_OVERRIDE
+    _FALLBACK_OVERRIDE = enabled
+
+
+def pickle_fallback_allowed() -> bool:
+    """Whether legacy pickle frames may be emitted or accepted."""
+    if _FALLBACK_OVERRIDE is not None:
+        return _FALLBACK_OVERRIDE
+    return os.environ.get("REPRO_WIRE_PICKLE", "1") != "0"
+
+
+def _resolve_exception_class(module: str, name: str) -> type | None:
+    """Resolve ``module.name`` to an exception class without importing.
+
+    Only modules that are *already loaded* (``sys.modules``) are consulted —
+    a hostile frame naming an importable-but-unloaded module must not be
+    able to trigger that module's import side effects on every party.
+    """
+    mod = sys.modules.get(module)
+    if mod is None:
+        return None
+    obj: object = mod
+    for part in name.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return None
+    if isinstance(obj, type) and issubclass(obj, BaseException):
+        return obj
+    return None
+
 
 class RestrictedUnpickler(pickle.Unpickler):
     """Unpickler that only resolves globals a repro frame legitimately needs.
@@ -69,6 +142,9 @@ class RestrictedUnpickler(pickle.Unpickler):
     classes (agents ship their failures back to the coordinator).  Every
     other global — ``os.system``, ``builtins.eval``, ``subprocess.*`` — is
     rejected with :class:`pickle.UnpicklingError` before it is ever called.
+    Exception classes are resolved *only* from modules already present in
+    ``sys.modules``; naming a not-yet-imported module never triggers an
+    import (and its side effects) on the receiving party.
     """
 
     def find_class(self, module: str, name: str):
@@ -80,14 +156,8 @@ class RestrictedUnpickler(pickle.Unpickler):
             return super().find_class(module, name)
         if module == "repro" or module.startswith("repro."):
             return super().find_class(module, name)
-        # Exception classes (from any importable module) are allowed so that
-        # agent failures deserialise faithfully; resolve first, then verify
-        # the result really is an exception *type* before handing it out.
-        try:
-            obj = super().find_class(module, name)
-        except Exception:
-            obj = None
-        if isinstance(obj, type) and issubclass(obj, BaseException):
+        obj = _resolve_exception_class(module, name)
+        if obj is not None:
             return obj
         raise pickle.UnpicklingError(
             f"frame references forbidden global {module}.{name}"
@@ -95,11 +165,533 @@ class RestrictedUnpickler(pickle.Unpickler):
 
 
 def restricted_loads(data: bytes) -> object:
-    """Deserialise one frame payload through the allowlisting unpickler."""
+    """Deserialise one legacy pickle payload through the allowlisting unpickler."""
     try:
         return RestrictedUnpickler(io.BytesIO(data)).load()
     except pickle.UnpicklingError as exc:
         raise WireError(f"rejected frame: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# the wire codec: tag-length-value over the closed frame-payload type set
+# --------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_COMPLEX = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_BYTEARRAY = 0x08
+_T_LIST = 0x09
+_T_TUPLE = 0x0A
+_T_DICT = 0x0B
+_T_SET = 0x0C
+_T_FROZENSET = 0x0D
+_T_NDARRAY = 0x0E
+_T_NPSCALAR = 0x0F
+_T_OBJ = 0x10
+_T_ENUM = 0x11
+_T_EXC = 0x12
+_T_REF = 0x13
+
+_FLOAT_STRUCT = struct.Struct(">d")
+_COMPLEX_STRUCT = struct.Struct(">dd")
+
+#: dtype kinds the codec will carry: booleans, signed/unsigned ints, floats,
+#: complex, timedelta/datetime, and fixed-width byte/unicode strings.  The
+#: object ('O') and structured-void ('V') kinds are rejected — they smuggle
+#: arbitrary Python objects or lose field metadata.
+_SAFE_DTYPE_KINDS = frozenset("biufcmMSU")
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise UnsupportedPayload("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    _write_varint(out, len(data))
+    out.extend(data)
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.out = bytearray()
+        self.memo: dict[int, int] = {}
+        # Keeps memoised objects alive so id() values cannot be recycled
+        # mid-encode (a freed id reused by a new object would alias refs).
+        self.memo_objs: list[object] = []
+
+    def _memoise(self, obj: object) -> None:
+        self.memo[id(obj)] = len(self.memo_objs)
+        self.memo_objs.append(obj)
+
+    def encode(self, obj: object) -> None:
+        out = self.out
+        if obj is None:
+            out.append(_T_NONE)
+            return
+        if obj is True:
+            out.append(_T_TRUE)
+            return
+        if obj is False:
+            out.append(_T_FALSE)
+            return
+        kind = type(obj)
+        if kind is int:
+            out.append(_T_INT)
+            data = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            _write_varint(out, len(data))
+            out.extend(data)
+            return
+        if kind is float:
+            out.append(_T_FLOAT)
+            out.extend(_FLOAT_STRUCT.pack(obj))
+            return
+        if kind is complex:
+            out.append(_T_COMPLEX)
+            out.extend(_COMPLEX_STRUCT.pack(obj.real, obj.imag))
+            return
+        if kind is str:
+            out.append(_T_STR)
+            _write_str(out, obj)
+            return
+        if kind is bytes:
+            out.append(_T_BYTES)
+            _write_varint(out, len(obj))
+            out.extend(obj)
+            return
+        ref = self.memo.get(id(obj))
+        if ref is not None:
+            out.append(_T_REF)
+            _write_varint(out, ref)
+            return
+        if kind is bytearray:
+            self._memoise(obj)
+            out.append(_T_BYTEARRAY)
+            _write_varint(out, len(obj))
+            out.extend(obj)
+            return
+        if kind is list:
+            self._memoise(obj)
+            out.append(_T_LIST)
+            _write_varint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            return
+        if kind is dict:
+            self._memoise(obj)
+            out.append(_T_DICT)
+            _write_varint(out, len(obj))
+            for key, value in obj.items():
+                self.encode(key)
+                self.encode(value)
+            return
+        if kind is set:
+            self._memoise(obj)
+            out.append(_T_SET)
+            _write_varint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            return
+        if kind is tuple:
+            out.append(_T_TUPLE)
+            _write_varint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            self._memoise(obj)
+            return
+        if kind is frozenset:
+            out.append(_T_FROZENSET)
+            _write_varint(out, len(obj))
+            for item in obj:
+                self.encode(item)
+            self._memoise(obj)
+            return
+        if kind is np.ndarray:
+            self._encode_ndarray(obj)
+            return
+        if isinstance(obj, np.generic):
+            self._encode_npscalar(obj)
+            return
+        if isinstance(obj, BaseException):
+            self._encode_exception(obj)
+            return
+        module = getattr(kind, "__module__", "") or ""
+        if module == "repro" or module.startswith("repro."):
+            import enum as _enum
+
+            if isinstance(obj, _enum.Enum):
+                out.append(_T_ENUM)
+                _write_str(out, module)
+                _write_str(out, kind.__qualname__)
+                _write_str(out, obj.name)
+                return
+            self._encode_repro_instance(obj, module, kind)
+            return
+        raise UnsupportedPayload(
+            f"object of type {module}.{kind.__qualname__} is outside the wire codec's type set"
+        )
+
+    def _encode_ndarray(self, arr: np.ndarray) -> None:
+        if arr.dtype.kind not in _SAFE_DTYPE_KINDS or arr.dtype.hasobject:
+            raise UnsupportedPayload(f"ndarray dtype {arr.dtype!r} is not wire-safe")
+        out = self.out
+        out.append(_T_NDARRAY)
+        _write_str(out, arr.dtype.str)
+        _write_varint(out, arr.ndim)
+        for dim in arr.shape:
+            _write_varint(out, dim)
+        data = np.ascontiguousarray(arr).tobytes()
+        _write_varint(out, len(data))
+        out.extend(data)
+        self._memoise(arr)
+
+    def _encode_npscalar(self, value: np.generic) -> None:
+        dtype = np.dtype(type(value)) if not hasattr(value, "dtype") else value.dtype
+        if dtype.kind not in _SAFE_DTYPE_KINDS or dtype.hasobject:
+            raise UnsupportedPayload(f"numpy scalar dtype {dtype!r} is not wire-safe")
+        out = self.out
+        out.append(_T_NPSCALAR)
+        _write_str(out, dtype.str)
+        data = value.tobytes()
+        _write_varint(out, len(data))
+        out.extend(data)
+
+    def _encode_exception(self, exc: BaseException) -> None:
+        kind = type(exc)
+        out = self.out
+        out.append(_T_EXC)
+        _write_str(out, kind.__module__ or "builtins")
+        _write_str(out, kind.__qualname__)
+        self.encode(tuple(exc.args))
+        state = getattr(exc, "__dict__", None)
+        self.encode(dict(state) if state else None)
+        self._memoise(exc)
+
+    def _encode_repro_instance(self, obj: object, module: str, kind: type) -> None:
+        out = self.out
+        out.append(_T_OBJ)
+        _write_str(out, module)
+        _write_str(out, kind.__qualname__)
+        self._memoise(obj)
+        dict_state = getattr(obj, "__dict__", None)
+        slot_state: dict[str, object] = {}
+        for klass in kind.__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in ("__dict__", "__weakref__"):
+                    continue
+                try:
+                    slot_state[slot] = getattr(obj, slot)
+                except AttributeError:
+                    continue
+        self.encode(dict(dict_state) if dict_state is not None else None)
+        self.encode(slot_state or None)
+
+
+def encode_payload(obj: object) -> bytes:
+    """Serialise ``obj`` with the wire codec (no length header).
+
+    Raises :class:`UnsupportedPayload` for objects outside the closed type
+    set so callers can decide whether the legacy pickle fallback applies.
+    """
+    encoder = _Encoder()
+    try:
+        encoder.encode(obj)
+    except RecursionError:
+        raise UnsupportedPayload("payload nesting exceeds the codec recursion limit") from None
+    return bytes([CODEC_MAGIC]) + bytes(encoder.out)
+
+
+class _Decoder:
+    def __init__(self, data: bytes | memoryview) -> None:
+        self.data = memoryview(data)
+        self.pos = 0
+        self.memo: list[object] = []
+
+    def _fail(self, why: str) -> WireError:
+        return WireError(f"corrupt codec frame at byte {self.pos}: {why}")
+
+    def _take(self, n: int) -> memoryview:
+        if n < 0 or self.pos + n > len(self.data):
+            raise self._fail(f"needs {n} more bytes past end of payload")
+        view = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return view
+
+    def _read_varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise self._fail("truncated varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise self._fail("varint overflow")
+
+    def _read_str(self) -> str:
+        length = self._read_varint()
+        try:
+            return str(self._take(length), "utf-8")
+        except UnicodeDecodeError as exc:
+            raise self._fail(f"invalid utf-8: {exc}") from None
+
+    def decode(self) -> object:
+        if self.pos >= len(self.data):
+            raise self._fail("truncated payload: expected a tag")
+        tag = self.data[self.pos]
+        self.pos += 1
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            length = self._read_varint()
+            return int.from_bytes(self._take(length), "big", signed=True)
+        if tag == _T_FLOAT:
+            return _FLOAT_STRUCT.unpack(self._take(8))[0]
+        if tag == _T_COMPLEX:
+            real, imag = _COMPLEX_STRUCT.unpack(self._take(16))
+            return complex(real, imag)
+        if tag == _T_STR:
+            return self._read_str()
+        if tag == _T_BYTES:
+            return bytes(self._take(self._read_varint()))
+        if tag == _T_BYTEARRAY:
+            value = bytearray(self._take(self._read_varint()))
+            self.memo.append(value)
+            return value
+        if tag == _T_LIST:
+            count = self._read_varint()
+            out: list[object] = []
+            self.memo.append(out)
+            for _ in range(count):
+                out.append(self.decode())
+            return out
+        if tag == _T_DICT:
+            count = self._read_varint()
+            mapping: dict = {}
+            self.memo.append(mapping)
+            for _ in range(count):
+                key = self.decode()
+                mapping[key] = self.decode()
+            return mapping
+        if tag == _T_SET:
+            count = self._read_varint()
+            values: set = set()
+            self.memo.append(values)
+            for _ in range(count):
+                values.add(self.decode())
+            return values
+        if tag == _T_TUPLE:
+            count = self._read_varint()
+            value = tuple(self.decode() for _ in range(count))
+            self.memo.append(value)
+            return value
+        if tag == _T_FROZENSET:
+            count = self._read_varint()
+            value = frozenset(self.decode() for _ in range(count))
+            self.memo.append(value)
+            return value
+        if tag == _T_NDARRAY:
+            return self._decode_ndarray()
+        if tag == _T_NPSCALAR:
+            dtype = self._read_dtype()
+            data = self._take(self._read_varint())
+            try:
+                return np.frombuffer(data, dtype=dtype)[0]
+            except (ValueError, IndexError) as exc:
+                raise self._fail(f"bad numpy scalar: {exc}") from None
+        if tag == _T_OBJ:
+            return self._decode_repro_instance()
+        if tag == _T_ENUM:
+            return self._decode_enum()
+        if tag == _T_EXC:
+            return self._decode_exception()
+        if tag == _T_REF:
+            index = self._read_varint()
+            if index >= len(self.memo):
+                raise self._fail(f"dangling memo reference {index}")
+            return self.memo[index]
+        raise self._fail(f"unknown tag 0x{tag:02x}")
+
+    def _read_dtype(self) -> np.dtype:
+        spec = self._read_str()
+        try:
+            dtype = np.dtype(spec)
+        except TypeError as exc:
+            raise self._fail(f"bad dtype {spec!r}: {exc}") from None
+        if dtype.kind not in _SAFE_DTYPE_KINDS or dtype.hasobject:
+            raise self._fail(f"dtype {spec!r} is not wire-safe")
+        return dtype
+
+    def _decode_ndarray(self) -> np.ndarray:
+        dtype = self._read_dtype()
+        ndim = self._read_varint()
+        if ndim > 32:
+            raise self._fail(f"ndarray claims {ndim} dimensions")
+        shape = tuple(self._read_varint() for _ in range(ndim))
+        data = self._take(self._read_varint())
+        try:
+            arr = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+        except ValueError as exc:
+            raise self._fail(f"bad ndarray buffer: {exc}") from None
+        self.memo.append(arr)
+        return arr
+
+    def _resolve_repro_class(self, module: str, qualname: str) -> type:
+        if not (module == "repro" or module.startswith("repro.")):
+            raise self._fail(f"frame references non-repro class {module}.{qualname}")
+        try:
+            mod = importlib.import_module(module)
+        except ImportError as exc:
+            raise self._fail(f"unknown repro module {module}: {exc}") from None
+        obj: object = mod
+        for part in qualname.split("."):
+            obj = getattr(obj, part, None)
+            if obj is None:
+                raise self._fail(f"unknown repro class {module}.{qualname}")
+        if not isinstance(obj, type):
+            raise self._fail(f"{module}.{qualname} is not a class")
+        return obj
+
+    def _decode_repro_instance(self) -> object:
+        module = self._read_str()
+        qualname = self._read_str()
+        cls = self._resolve_repro_class(module, qualname)
+        try:
+            inst = cls.__new__(cls)
+        except TypeError as exc:
+            raise self._fail(f"cannot instantiate {module}.{qualname}: {exc}") from None
+        self.memo.append(inst)
+        dict_state = self.decode()
+        slot_state = self.decode()
+        if dict_state is not None:
+            if not isinstance(dict_state, dict):
+                raise self._fail("instance dict state is not a dict")
+            inst.__dict__.update(dict_state)
+        if slot_state is not None:
+            if not isinstance(slot_state, dict):
+                raise self._fail("instance slot state is not a dict")
+            for key, value in slot_state.items():
+                object.__setattr__(inst, key, value)
+        return inst
+
+    def _decode_enum(self) -> object:
+        import enum as _enum
+
+        module = self._read_str()
+        qualname = self._read_str()
+        member = self._read_str()
+        cls = self._resolve_repro_class(module, qualname)
+        if not issubclass(cls, _enum.Enum):
+            raise self._fail(f"{module}.{qualname} is not an enum")
+        try:
+            return cls[member]
+        except KeyError:
+            raise self._fail(f"unknown enum member {qualname}.{member}") from None
+
+    def _decode_exception(self) -> BaseException:
+        module = self._read_str()
+        qualname = self._read_str()
+        args = self.decode()
+        state = self.decode()
+        if not isinstance(args, tuple):
+            raise self._fail("exception args are not a tuple")
+        cls: type[BaseException] | None = None
+        if module == "repro" or module.startswith("repro."):
+            try:
+                candidate: object = importlib.import_module(module)
+                for part in qualname.split("."):
+                    candidate = getattr(candidate, part, None)
+                    if candidate is None:
+                        break
+                if isinstance(candidate, type) and issubclass(candidate, BaseException):
+                    cls = candidate
+            except ImportError:
+                cls = None
+        else:
+            cls = _resolve_exception_class(module, qualname)
+        if cls is None:
+            exc: BaseException = RuntimeError(
+                f"remote exception {module}.{qualname}{args!r} "
+                "(class not resolvable on this party)"
+            )
+        else:
+            try:
+                exc = cls(*args)
+            except Exception:
+                exc = cls.__new__(cls)
+                exc.args = args
+        if isinstance(state, dict):
+            try:
+                exc.__dict__.update(state)
+            except AttributeError:
+                pass
+        elif state is not None:
+            raise self._fail("exception state is not a dict")
+        self.memo.append(exc)
+        return exc
+
+
+def decode_payload(data: bytes | memoryview) -> object:
+    """Decode one codec payload (the bytes after the length header)."""
+    view = memoryview(data)
+    if len(view) == 0 or view[0] != CODEC_MAGIC:
+        raise WireError("payload is not a codec frame (missing magic byte)")
+    decoder = _Decoder(view[1:])
+    try:
+        value = decoder.decode()
+    except RecursionError:
+        raise WireError("codec frame nesting exceeds the recursion limit") from None
+    if decoder.pos != len(decoder.data):
+        raise WireError(
+            f"corrupt codec frame: {len(decoder.data) - decoder.pos} trailing bytes"
+        )
+    return value
+
+
+def decode_frame_payload(payload: bytes) -> object:
+    """Decode one frame payload, dispatching codec vs legacy pickle.
+
+    Codec payloads are recognised by their magic byte; anything else is a
+    legacy pickle frame, accepted through :class:`RestrictedUnpickler` only
+    while the fallback is enabled (``REPRO_WIRE_PICKLE`` != ``0``).
+    """
+    if not payload:
+        raise WireError("empty frame payload")
+    if payload[0] == CODEC_MAGIC:
+        return decode_payload(payload)
+    if not pickle_fallback_allowed():
+        raise WireError(
+            "legacy pickle frame rejected: the pickle fallback is disabled "
+            "(REPRO_WIRE_PICKLE=0)"
+        )
+    return restricted_loads(payload)
+
+
+# --------------------------------------------------------------------------
+# link statistics
+# --------------------------------------------------------------------------
 
 
 class LinkStats:
@@ -141,9 +733,27 @@ class LinkStats:
             }
 
 
+# --------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------
+
+
 def encode_frame(obj: object) -> bytes:
-    """Serialise ``obj`` as one length-prefixed frame."""
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialise ``obj`` as one length-prefixed frame.
+
+    The wire codec is tried first; payloads outside its closed type set fall
+    back to restricted pickle while the fallback is enabled, and raise
+    :class:`WireError` when it is not.
+    """
+    try:
+        data = encode_payload(obj)
+    except UnsupportedPayload as exc:
+        if not pickle_fallback_allowed():
+            raise WireError(
+                f"payload not expressible in the wire codec and the pickle "
+                f"fallback is disabled: {exc}"
+            ) from exc
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(data) > MAX_FRAME_BYTES:
         raise WireError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
     return _HEADER.pack(len(data)) + data
@@ -180,7 +790,7 @@ class FrameDecoder:
                 break
             payload = bytes(self._buffer[_HEADER.size:_HEADER.size + length])
             del self._buffer[:_HEADER.size + length]
-            frames.append(restricted_loads(payload))
+            frames.append(decode_frame_payload(payload))
         return frames
 
     def eof(self) -> None:
@@ -214,10 +824,18 @@ def send_torn_frame(sock: socket.socket, obj: object, fraction: float = 0.6) -> 
     frame the stream can never complete, so the receiver's ``recv_frame``
     fails with a mid-frame :class:`WireError` (never a silent truncation, as
     the framing tests assert).  At least the header plus one payload byte is
-    written so the receiver is genuinely *inside* the frame.  Returns the
-    number of bytes written.
+    written so the receiver is genuinely *inside* the frame, and never the
+    whole frame; a frame too small to satisfy both (payload under two bytes)
+    raises :class:`WireError` instead of silently sending a clean prefix.
+    Returns the number of bytes written.
     """
     data = encode_frame(obj)
+    if len(data) < _HEADER.size + 2:
+        raise WireError(
+            f"frame of {len(data)} bytes is too small to tear: a torn frame "
+            "must include the header, at least one payload byte, and omit at "
+            "least one payload byte"
+        )
     cut = max(_HEADER.size + 1, int(len(data) * fraction))
     cut = min(cut, len(data) - 1)
     try:
@@ -233,7 +851,7 @@ def recv_frame(
     allow_idle_timeout: bool = False,
     stats: LinkStats | None = None,
 ) -> object:
-    """Read one length-prefixed frame and unpickle it.
+    """Read one length-prefixed frame and decode it.
 
     With ``allow_idle_timeout`` a socket timeout that fires *before any byte
     of the frame arrived* is re-raised as :class:`TimeoutError` (the stream
@@ -248,7 +866,7 @@ def recv_frame(
     payload = _recv_exact(sock, length)
     if stats is not None:
         stats.add_received(_HEADER.size + length)
-    return restricted_loads(payload)
+    return decode_frame_payload(payload)
 
 
 def _recv_exact(sock: socket.socket, n: int, *, allow_idle_timeout: bool = False) -> bytes:
@@ -260,9 +878,205 @@ def _recv_exact(sock: socket.socket, n: int, *, allow_idle_timeout: bool = False
             if allow_idle_timeout and not buf:
                 raise
             raise WireError("connection timed out mid-frame") from None
+        except ssl.SSLError as exc:
+            raise WireError(f"TLS error while reading frame: {exc}") from exc
         except OSError as exc:
             raise WireError(f"connection error while reading frame: {exc}") from exc
         if not chunk:
             raise WireError("connection closed mid-frame")
         buf.extend(chunk)
     return bytes(buf)
+
+
+# --------------------------------------------------------------------------
+# TLS socket wrapping + authenticated peer identity
+# --------------------------------------------------------------------------
+
+
+class SecureSocket:
+    """A full-duplex-safe TLS channel over one blocking TCP socket.
+
+    ``ssl.SSLSocket`` shares a single OpenSSL ``SSL`` object between its
+    ``recv`` and ``send`` paths, and OpenSSL forbids driving one connection
+    from two threads concurrently.  The mesh does exactly that — one reader
+    thread plus (lock-serialised) writer threads per peer socket — and under
+    load the shared ``SSLSocket`` state corrupts, killing the link with
+    spurious mid-frame EOFs.
+
+    This wrapper keeps the runtime's one-socket-per-peer duplex model by
+    separating TLS state from network I/O: an :class:`ssl.SSLObject` over
+    memory BIOs holds the TLS machine, and **every** access to it happens
+    under one short-held lock that is *never* held across blocking I/O.
+
+    * Readers feed ciphertext from blocking ``recv`` (no lock) into the
+      incoming BIO and pull plaintext out (locked, non-blocking).
+    * Writers encrypt into the outgoing BIO (locked, non-blocking) and then
+      write ciphertext under a separate write lock, so TCP backpressure on
+      sends can never stall the reader draining the peer — the deadlock the
+      single-lock design would reintroduce.
+
+    The exposed surface is the subset of the socket API the runtime uses:
+    ``sendall`` / ``recv`` / ``settimeout`` / ``shutdown`` / ``close`` plus
+    ``getpeercert`` for :func:`peer_common_name`.
+    """
+
+    _RECV_CHUNK = 1 << 16
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        context: ssl.SSLContext,
+        *,
+        server_side: bool,
+    ):
+        self._sock = sock
+        self._in = ssl.MemoryBIO()
+        self._out = ssl.MemoryBIO()
+        self._ssl = context.wrap_bio(self._in, self._out, server_side=server_side)
+        #: Serialises all access to the TLS state machine (never held while
+        #: blocking on the network).
+        self._ssl_lock = threading.Lock()
+        #: Serialises ciphertext writes, preserving TLS record order across
+        #: concurrent senders.
+        self._write_lock = threading.Lock()
+        self._eof = False
+        self._handshake()
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Ship any ciphertext the TLS machine queued (ordered, blocking)."""
+        with self._ssl_lock:
+            data = self._out.read() if self._out.pending else b""
+        if data:
+            with self._write_lock:
+                self._sock.sendall(data)
+
+    def _fill(self) -> None:
+        """Blocking read of more ciphertext into the incoming BIO."""
+        chunk = self._sock.recv(self._RECV_CHUNK)
+        with self._ssl_lock:
+            if chunk:
+                self._in.write(chunk)
+            else:
+                self._eof = True
+                self._in.write_eof()
+
+    def _handshake(self) -> None:
+        while True:
+            try:
+                with self._ssl_lock:
+                    self._ssl.do_handshake()
+                self._flush()
+                return
+            except ssl.SSLWantReadError:
+                self._flush()
+                self._fill()
+                if self._eof:
+                    raise ssl.SSLEOFError("EOF during TLS handshake")
+            except ssl.SSLWantWriteError:  # pragma: no cover - memory BIOs never fill
+                self._flush()
+
+    # -- the socket surface the runtime uses -------------------------------------------
+
+    def recv(self, n: int) -> bytes:
+        while True:
+            with self._ssl_lock:
+                try:
+                    data = self._ssl.read(n)
+                except ssl.SSLWantReadError:
+                    data = None
+                except (ssl.SSLZeroReturnError, ssl.SSLEOFError):
+                    # Clean close_notify, or a ragged EOF after the stream
+                    # died: both look like EOF, exactly as for a plaintext
+                    # socket (SSLSocket's suppress_ragged_eofs default).
+                    return b""
+            if data is not None:
+                return data
+            # Reading may have queued output (e.g. a TLS 1.3 KeyUpdate
+            # response); ship it before blocking for more ciphertext.
+            self._flush()
+            if self._eof:
+                return b""
+            self._fill()
+
+    def sendall(self, data) -> None:
+        view = memoryview(data)
+        if not len(view):
+            return
+        # The write lock spans encrypt + send so concurrent senders cannot
+        # interleave their TLS records out of encryption order.
+        with self._write_lock:
+            offset = 0
+            while offset < len(view):
+                with self._ssl_lock:
+                    written = self._ssl.write(view[offset:])
+                    out = self._out.read()
+                self._sock.sendall(out)
+                offset += written
+
+    def settimeout(self, value) -> None:
+        self._sock.settimeout(value)
+
+    def gettimeout(self):
+        return self._sock.gettimeout()
+
+    def shutdown(self, how: int) -> None:
+        self._sock.shutdown(how)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def getpeercert(self) -> dict | None:
+        with self._ssl_lock:
+            return self._ssl.getpeercert()
+
+
+def secure_server_socket(sock: socket.socket, context: ssl.SSLContext) -> SecureSocket:
+    """Wrap an *accepted* socket server-side, failing closed on handshake errors.
+
+    The socket's existing timeout bounds the handshake, so a client that
+    connects and stalls can never hang the accept loop.
+    """
+    try:
+        return SecureSocket(sock, context, server_side=True)
+    except (ssl.SSLError, OSError) as exc:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        raise WireError(f"TLS server handshake failed: {exc}") from exc
+
+
+def secure_client_socket(sock: socket.socket, context: ssl.SSLContext) -> SecureSocket:
+    """Wrap a *dialled* socket client-side, failing closed on handshake errors."""
+    try:
+        return SecureSocket(sock, context, server_side=False)
+    except (ssl.SSLError, OSError) as exc:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        raise WireError(f"TLS client handshake failed: {exc}") from exc
+
+
+def peer_common_name(sock: socket.socket) -> str | None:
+    """The CN of the peer's verified certificate, or ``None`` without TLS.
+
+    Both sides of every secured link require a peer certificate
+    (``CERT_REQUIRED``), so on a TLS socket this is the identity the session
+    CA vouched for — hello verification checks claimed party ids against it.
+    """
+    if not isinstance(sock, (ssl.SSLSocket, SecureSocket)):
+        return None
+    cert = sock.getpeercert()
+    if not cert:
+        return None
+    for rdn in cert.get("subject", ()):
+        for key, value in rdn:
+            if key == "commonName":
+                return value
+    return None

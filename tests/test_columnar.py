@@ -235,7 +235,8 @@ class TestWireRoundFlatness:
 
 class TestBindHost:
     def test_endpoint_normaliser(self):
-        assert _endpoint(4000) == ("127.0.0.1", 4000)
+        with pytest.warns(DeprecationWarning, match="bare advertised ports"):
+            assert _endpoint(4000) == ("127.0.0.1", 4000)
         assert _endpoint(("10.0.0.7", 4000)) == ("10.0.0.7", 4000)
         assert _endpoint(["10.0.0.7", 4000]) == ("10.0.0.7", 4000)
 
